@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// and table of Section V plus the recovery experiment of Section IV-D.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (several minutes)
+//	experiments -exp 8                   # Figure 8 only
+//	experiments -exp table3 -quick       # Table III at smoke-test scale
+//	experiments -exp all -txs 12000      # larger measured phase
+//
+// Experiments: 3, 8, 9, 10, 11, 12, table2, table3, vf, recovery, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: 3|8|9|10|11|12|table2|table3|vf|recovery|all")
+	quick := flag.Bool("quick", false, "smoke-test scale (10x smaller, not paper-representative)")
+	txs := flag.Int("txs", 0, "override measured transactions per run")
+	warmup := flag.Int("warmup", 0, "override warm-up transactions per run")
+	setup := flag.Int("setup", 0, "override benchmark population size")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation runs")
+	flag.Parse()
+
+	scale := harness.DefaultScale()
+	if *quick {
+		scale = harness.QuickScale()
+	}
+	if *txs > 0 {
+		scale.MeasureTxs = *txs
+	}
+	if *warmup > 0 {
+		scale.WarmupTxs = *warmup
+	}
+	if *setup > 0 {
+		scale.SetupKeys = *setup
+	}
+
+	e := harness.NewExperiments(scale, os.Stdout)
+	e.Workers = *workers
+
+	fmt.Printf("Thoth evaluation — scale: warmup=%d measure=%d setup=%d PUB=%dKiB workers=%d\n",
+		scale.WarmupTxs, scale.MeasureTxs, scale.SetupKeys, scale.PUBBytes>>10, e.Workers)
+	start := time.Now()
+	if err := e.ByName(*exp); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}

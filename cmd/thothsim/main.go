@@ -1,0 +1,105 @@
+// Command thothsim runs one benchmark against one secure-memory
+// configuration and prints the measurements: execution cycles, NVM write
+// traffic by category, PUB eviction outcomes, cache hit rates and PCB
+// merge rate.
+//
+// Usage:
+//
+//	thothsim -workload btree -scheme thoth-wtsc
+//	thothsim -workload swap -scheme baseline -block 256 -tx 512
+//	thothsim -workload rbtree -scheme thoth-wtsc -crash  # crash + recover
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/recovery"
+)
+
+func parseScheme(s string) (config.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "baseline-strict":
+		return config.BaselineStrict, nil
+	case "thoth", "wtsc", "thoth-wtsc":
+		return config.ThothWTSC, nil
+	case "wtbc", "thoth-wtbc":
+		return config.ThothWTBC, nil
+	case "anubis-ecc", "ideal":
+		return config.AnubisECC, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (baseline|thoth-wtsc|thoth-wtbc|anubis-ecc)", s)
+	}
+}
+
+func main() {
+	wl := flag.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
+	schemeStr := flag.String("scheme", "thoth-wtsc", "persistence scheme")
+	block := flag.Int("block", 128, "cache block size in bytes (64|128|256)")
+	tx := flag.Int("tx", 128, "transaction size in bytes")
+	txs := flag.Int("txs", 6000, "measured transactions")
+	warmup := flag.Int("warmup", 1200, "warm-up transactions")
+	setup := flag.Int("setup", 16384, "benchmark population")
+	pubKiB := flag.Int64("pub", 1024, "PUB size in KiB (paper default 65536)")
+	ctrKiB := flag.Int("ctr-cache", 64, "counter cache KiB")
+	macKiB := flag.Int("mac-cache", 128, "MAC cache KiB")
+	wpqEntries := flag.Int("wpq", 64, "WPQ entries (PCB takes 1/8 under Thoth)")
+	crash := flag.Bool("crash", false, "crash after the run and recover the image")
+	verify := flag.Bool("verify", false, "verify all persisted data after the run")
+	shadow := flag.Bool("shadow", false, "enable Anubis shadow-table tracking (fast recovery)")
+	eadr := flag.Bool("eadr", false, "enhanced ADR: persistent cache hierarchy (extension)")
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thothsim:", err)
+		os.Exit(1)
+	}
+
+	cfg := config.Default().
+		WithScheme(scheme).
+		WithBlockSize(*block).
+		WithTxSize(*tx).
+		WithWPQ(*wpqEntries).
+		WithMetadataCaches(*ctrKiB<<10, *macKiB<<10)
+	cfg.MemBytes = 1 << 30
+	cfg.PUBBytes = *pubKiB << 10
+	cfg.LLCBytes = 1 << 20
+	cfg.ShadowTracking = *shadow
+	cfg.EADR = *eadr
+
+	res, err := harness.Run(harness.RunConfig{
+		Config:     cfg,
+		Workload:   *wl,
+		WarmupTxs:  *warmup,
+		MeasureTxs: *txs,
+		SetupKeys:  *setup,
+		Verify:     *verify,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thothsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s scheme=%v block=%dB tx=%dB\n", *wl, scheme, *block, *tx)
+	fmt.Printf("cycles=%d (%.3f ms at %.0f GHz) txs=%d\n",
+		res.Cycles, float64(res.Cycles)/(cfg.CPUFreqGHz*1e6), cfg.CPUFreqGHz, *txs)
+	fmt.Println(res.Stats.String())
+	if scheme.IsThoth() {
+		fmt.Printf("pcb-merge-rate=%.1f%%\n", 100*res.PCBMergeRate)
+	}
+
+	if *crash {
+		res.Runner.Controller().Crash(res.Runner.Now())
+		rep, err := recovery.Recover(cfg, res.Controller.Device())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thothsim: recovery failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+}

@@ -1,0 +1,104 @@
+// Command tracegen dumps the raw memory trace of a benchmark — each
+// Load/Store/Persist/Fence with addresses and sizes — for inspection or
+// for feeding external tools.
+//
+// Usage:
+//
+//	tracegen -workload hashmap -txs 10            # human-readable
+//	tracegen -workload btree -txs 100 -summary    # per-op-type counts
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+// traceSink prints every operation.
+type traceSink struct {
+	w       *bufio.Writer
+	silent  bool
+	counts  workload.CountingSink
+	touched map[int64]bool
+}
+
+func (t *traceSink) Load(addr, size int64) {
+	t.counts.Loads++
+	t.counts.LoadBytes += size
+	if !t.silent {
+		fmt.Fprintf(t.w, "L %#010x %d\n", addr, size)
+	}
+}
+
+func (t *traceSink) Store(addr, size int64) {
+	t.counts.Stores++
+	t.counts.StoreBytes += size
+	for a := addr &^ 63; a < addr+size; a += 64 {
+		t.touched[a] = true
+	}
+	if !t.silent {
+		fmt.Fprintf(t.w, "S %#010x %d\n", addr, size)
+	}
+}
+
+func (t *traceSink) Persist(addr, size int64) {
+	t.counts.Persists++
+	if !t.silent {
+		fmt.Fprintf(t.w, "P %#010x %d\n", addr, size)
+	}
+}
+
+func (t *traceSink) Fence() {
+	t.counts.Fences++
+	if !t.silent {
+		fmt.Fprintln(t.w, "F")
+	}
+}
+
+func main() {
+	wl := flag.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
+	txs := flag.Int("txs", 10, "transactions to trace")
+	txSize := flag.Int("tx", 128, "transaction size in bytes")
+	setup := flag.Int("setup", 1024, "population size (setup is traced unless -skip-setup)")
+	skipSetup := flag.Bool("skip-setup", true, "suppress the setup phase from the dump")
+	seed := flag.Int64("seed", 1, "workload seed")
+	summary := flag.Bool("summary", false, "print only per-op-type counts")
+	flag.Parse()
+
+	w, err := workload.New(*wl, workload.Params{
+		HeapBase:  0,
+		HeapSize:  512 << 20,
+		TxSize:    *txSize,
+		Seed:      *seed,
+		SetupKeys: *setup,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	s := &traceSink{w: out, touched: make(map[int64]bool)}
+
+	s.silent = *skipSetup || *summary
+	w.Setup(s)
+	s.silent = *summary
+	for i := 0; i < *txs; i++ {
+		if !*summary {
+			fmt.Fprintf(out, "# tx %d\n", i)
+		}
+		w.Tx(s)
+	}
+
+	if *summary {
+		c := &s.counts
+		fmt.Fprintf(out, "workload=%s txs=%d loads=%d stores=%d persists=%d fences=%d\n",
+			*wl, *txs, c.Loads, c.Stores, c.Persists, c.Fences)
+		fmt.Fprintf(out, "loadBytes=%d storeBytes=%d touched64B=%d footprint=%d\n",
+			c.LoadBytes, c.StoreBytes, len(s.touched), w.Footprint())
+	}
+}

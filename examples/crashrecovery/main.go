@@ -1,0 +1,97 @@
+// crashrecovery: demonstrates the security guarantees of Section IV —
+// a crashed image recovers and verifies, while tampering with the
+// persisted state (counters, PUB contents, or replayed stale blocks) is
+// detected by the integrity-tree root check.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+
+	thoth "repro"
+)
+
+// buildCrashImage writes a working set and crashes, returning the config
+// and image. Identical seeds make every image bit-identical, so the
+// three scenarios below diverge only by the tampering applied.
+func buildCrashImage() (thoth.Config, *thoth.Device) {
+	cfg := thoth.DefaultConfig()
+	cfg.MemBytes = 256 << 20
+	cfg.PUBBytes = 64 << 10 // small PUB: eviction traffic before the crash
+	cfg.CtrCacheBytes = 8 << 10
+	cfg.MACCacheBytes = 16 << 10
+
+	sys, err := thoth.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		data := bytes.Repeat([]byte{byte(i), byte(i >> 8)}, 64)
+		if err := sys.Write(int64(i%61)*4096, data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return cfg, sys.Crash()
+}
+
+func main() {
+	fmt.Println("scenario 1: honest crash")
+	cfg, img := buildCrashImage()
+	rep, err := thoth.Recover(cfg, img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s\n", rep)
+	sys, err := thoth.Open(cfg, img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Read(0, 128); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  post-recovery reads verify: OK")
+
+	fmt.Println("scenario 2: attacker flips a bit in a persisted counter block")
+	cfg, img = buildCrashImage()
+	regions, err := thoth.RegionsOf(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blk := img.Peek(regions.CtrBase)
+	blk[5] ^= 0x04
+	img.WriteBlock(regions.CtrBase, blk)
+	if _, err := thoth.Recover(cfg, img); errors.Is(err, thoth.ErrRootMismatch) {
+		fmt.Println("  tampering detected: root mismatch (as required)")
+	} else {
+		log.Fatalf("tampering NOT detected: %v", err)
+	}
+
+	fmt.Println("scenario 3: attacker corrupts the PUB (the partial updates buffer)")
+	cfg, img = buildCrashImage()
+	// Flip every written block of the PUB ring; the partial updates
+	// recovery depends on are now garbage and the merged image cannot
+	// reach the persisted root.
+	corrupted := 0
+	for addr := regions.PUBBase; addr < regions.PUBBase+regions.PUBBytes; addr += int64(cfg.BlockSize) {
+		if !img.Written(addr) {
+			continue
+		}
+		b := img.Peek(addr)
+		for i := range b {
+			b[i] ^= 0xFF
+		}
+		img.WriteBlock(addr, b)
+		corrupted++
+	}
+	fmt.Printf("  corrupted %d metadata/PUB blocks\n", corrupted)
+	if _, err := thoth.Recover(cfg, img); err != nil {
+		fmt.Printf("  recovery rejected the image: %v\n", err)
+	} else {
+		log.Fatal("corrupted image recovered silently")
+	}
+
+	fmt.Printf("\nanalytic recovery cost for the paper's 64MB PUB: %.2fs (paper: ~7s)\n",
+		thoth.EstimateRecoverySeconds(thoth.DefaultConfig()))
+}

@@ -1,0 +1,51 @@
+// Package bitpack reads and writes arbitrary-width bit fields in byte
+// slices. The Thoth design packs structures tighter than byte
+// granularity: 7-bit minor counters inside counter blocks and 105-bit
+// partial-update entries inside PUB blocks (Section IV-A), so both
+// codecs are built on this package.
+//
+// Bit offsets are little-endian within the slice: bit i lives in byte
+// i/8 at position i%8, matching how successive fields pack contiguously.
+package bitpack
+
+import "fmt"
+
+// Get extracts width bits (1..64) starting at bit offset off.
+func Get(b []byte, off, width int) uint64 {
+	check(b, off, width)
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit := off + i
+		if b[bit/8]&(1<<(bit%8)) != 0 {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// Set stores the low width bits of v (1..64) starting at bit offset off.
+// Bits of v above width must be zero.
+func Set(b []byte, off, width int, v uint64) {
+	check(b, off, width)
+	if width < 64 && v>>width != 0 {
+		panic(fmt.Sprintf("bitpack: value %#x exceeds %d bits", v, width))
+	}
+	for i := 0; i < width; i++ {
+		bit := off + i
+		mask := byte(1 << (bit % 8))
+		if v&(1<<i) != 0 {
+			b[bit/8] |= mask
+		} else {
+			b[bit/8] &^= mask
+		}
+	}
+}
+
+func check(b []byte, off, width int) {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("bitpack: width %d out of range [1,64]", width))
+	}
+	if off < 0 || off+width > len(b)*8 {
+		panic(fmt.Sprintf("bitpack: field [%d,+%d) exceeds %d bits", off, width, len(b)*8))
+	}
+}

@@ -1,0 +1,176 @@
+// Package bmt implements the Bonsai Merkle Tree (Rogers et al., MICRO'07)
+// over the encryption counters, as used by the paper (Section II-A):
+// the tree hashes counter blocks, data freshness comes from MACs bound to
+// those counters, and the root never leaves the processor.
+//
+// The tree is sparse with a zero default: untouched counter blocks and
+// all-zero nodes contribute a zero hash, so memory scales with the
+// touched working set rather than the module capacity. Two usage modes
+// matter to the model:
+//
+//   - During execution the tree is maintained eagerly over the *logical*
+//     (most recent) counter values — this is the Anubis-style eagerly
+//     updated persistent root the paper's baseline and Thoth both rely
+//     on for post-crash verification. NVM copies of tree nodes are only
+//     persisted lazily (natural MT-cache eviction), which is safe
+//     precisely because the root is eager.
+//
+//   - During recovery, Rebuild recomputes the tree bottom-up from the
+//     counter region of the NVM image; the resulting root must match the
+//     persisted root or tampering/corruption is reported.
+package bmt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crypt"
+	"repro/internal/layout"
+	"repro/internal/nvm"
+)
+
+// Tree is a sparse 8-ary Merkle tree over counter blocks.
+type Tree struct {
+	lay *layout.Layout
+	eng *crypt.Engine
+
+	// ctrHash[i] is the hash of counter block i; absent means zero.
+	ctrHash map[int64]uint64
+	// nodes[l][j] holds the 8 child hashes of node j at level l.
+	nodes []map[int64]*[layout.TreeArity]uint64
+	root  uint64
+}
+
+// New returns an empty tree (all-zero counters, zero root).
+func New(lay *layout.Layout, eng *crypt.Engine) *Tree {
+	t := &Tree{
+		lay:     lay,
+		eng:     eng,
+		ctrHash: make(map[int64]uint64),
+		nodes:   make([]map[int64]*[layout.TreeArity]uint64, lay.TreeLevels()),
+	}
+	for i := range t.nodes {
+		t.nodes[i] = make(map[int64]*[layout.TreeArity]uint64)
+	}
+	return t
+}
+
+// Root returns the current root hash. Architecturally this register is
+// inside the processor's persistence domain; callers persist it via the
+// control region at crash time.
+func (t *Tree) Root() uint64 { return t.root }
+
+// hashCtr computes the hash of one counter block's contents.
+func (t *Tree) hashCtr(ctrIdx int64, data []byte) uint64 {
+	allZero := true
+	for _, b := range data {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return 0
+	}
+	addr := t.lay.CtrBase + ctrIdx*int64(t.lay.BlockSize)
+	return t.eng.TreeHash(addr, data)
+}
+
+// hashNode computes the hash of a node's packed child hashes, with the
+// zero default for all-zero nodes.
+func (t *Tree) hashNode(level int, idx int64, n *[layout.TreeArity]uint64) uint64 {
+	if n == nil {
+		return 0
+	}
+	zero := true
+	var buf [layout.TreeArity * layout.HashBytes]byte
+	for i, h := range n {
+		if h != 0 {
+			zero = false
+		}
+		binary.LittleEndian.PutUint64(buf[i*8:], h)
+	}
+	if zero {
+		return 0
+	}
+	return t.eng.TreeHash(t.lay.TreeNodeAddr(level, idx), buf[:])
+}
+
+// Update recomputes the path from counter block ctrIdx to the root after
+// that block's contents changed, and returns the number of tree levels
+// touched (for latency accounting: one hash per level plus the leaf
+// hash).
+func (t *Tree) Update(ctrIdx int64, data []byte) int {
+	if ctrIdx < 0 || ctrIdx >= t.lay.CtrBytes/int64(t.lay.BlockSize) {
+		panic(fmt.Sprintf("bmt: counter index %d out of range", ctrIdx))
+	}
+	h := t.hashCtr(ctrIdx, data)
+	t.ctrHash[ctrIdx] = h
+	child := ctrIdx
+	levels := 0
+	for l := 0; l < len(t.nodes); l++ {
+		parent, slot := layout.TreeParent(child)
+		n := t.nodes[l][parent]
+		if n == nil {
+			n = new([layout.TreeArity]uint64)
+			t.nodes[l][parent] = n
+		}
+		n[slot] = h
+		h = t.hashNode(l, parent, n)
+		child = parent
+		levels++
+	}
+	t.root = h
+	return levels
+}
+
+// NodeBytes returns the persistable contents of a tree node as a full
+// cache block (child hashes in the first 64 bytes, zero padding after).
+// The MT cache writes this to NVM on lazy eviction.
+func (t *Tree) NodeBytes(level int, idx int64) []byte {
+	out := make([]byte, t.lay.BlockSize)
+	if n := t.nodes[level][idx]; n != nil {
+		for i, h := range n {
+			binary.LittleEndian.PutUint64(out[i*8:], h)
+		}
+	}
+	return out
+}
+
+// Path returns the (level, nodeIndex) pairs from the leaf level to the
+// top for a counter block, used by the controller to drive the MT cache.
+func (t *Tree) Path(ctrIdx int64) []PathStep {
+	steps := make([]PathStep, 0, len(t.nodes))
+	child := ctrIdx
+	for l := 0; l < len(t.nodes); l++ {
+		parent, _ := layout.TreeParent(child)
+		steps = append(steps, PathStep{Level: l, Index: parent, Addr: t.lay.TreeNodeAddr(l, parent)})
+		child = parent
+	}
+	return steps
+}
+
+// PathStep is one node on a leaf-to-root path.
+type PathStep struct {
+	Level int
+	Index int64
+	Addr  int64
+}
+
+// Rebuild computes the tree bottom-up from the counter region of an NVM
+// image and returns the resulting root. It does not modify t.
+func Rebuild(lay *layout.Layout, eng *crypt.Engine, dev *nvm.Device) uint64 {
+	t := New(lay, eng)
+	dev.ForEachWritten(lay.CtrBase, lay.CtrBytes, func(addr int64, block []byte) {
+		data := make([]byte, len(block))
+		copy(data, block)
+		t.Update(lay.CtrIndex(addr), data)
+	})
+	return t.Root()
+}
+
+// Verify reports whether the tree rebuilt from the device matches the
+// expected root.
+func Verify(lay *layout.Layout, eng *crypt.Engine, dev *nvm.Device, wantRoot uint64) bool {
+	return Rebuild(lay, eng, dev) == wantRoot
+}

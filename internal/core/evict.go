@@ -1,0 +1,135 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/ctr"
+	"repro/internal/macs"
+	"repro/internal/pub"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// evictPUBBlock processes the oldest packed block of the PUB ring
+// (Section IV-B): the block is read back, and for every partial update
+// the controller decides whether the corresponding counter/MAC block
+// still needs a full-block persist to remain crash consistent.
+//
+// Each entry yields two decisions — one for its counter partial and one
+// for its MAC partial. The *classification* recorded in the statistics
+// is always the precise one (Figure 3's four outcomes), independent of
+// policy; the *action* follows the configured policy:
+//
+//   - WTBC persists iff the metadata block is cached, dirty, the
+//     entry's slot is dirty in the fine-grain bitmask, and the entry's
+//     value matches the cached value (i.e. the entry is the newest
+//     update to that slot; a mismatch means a younger update exists and
+//     will take responsibility).
+//   - WTSC persists iff the entry's status bit says this update
+//     transitioned the block from clean to dirty AND the block is still
+//     cached dirty. This is conservative: it can persist blocks whose
+//     relevant slot was already captured, but never misses one
+//     (Section IV-B).
+func (c *Controller) evictPUBBlock(t int64) {
+	blk, pubAddr := c.ring.Pop()
+	c.mem.Post(pubAddr, sim.Item{Ready: t, Dur: c.cfg.ReadLatencyCycles()})
+	c.st.NVMReads++
+	c.st.PUBEvictions++
+
+	for _, e := range pub.UnpackBlock(c.cfg.BlockSize, blk) {
+		c.st.PUBEntryEvictions++
+		c.evictCtrPartial(e)
+		c.evictMACPartial(e)
+	}
+}
+
+// evictCtrPartial handles the counter half of one evicted entry.
+func (c *Controller) evictCtrPartial(e pub.Entry) {
+	dataAddr := int64(e.BlockIndex) * int64(c.cfg.BlockSize)
+	ca := c.lay.CtrBlockAddr(dataAddr)
+	slot := c.lay.CtrSlot(dataAddr)
+	line := c.ctrCache.Probe(ca)
+
+	// Precise classification (Figure 3).
+	var outcome stats.EvictOutcome
+	current := false
+	switch {
+	case line == nil:
+		outcome = stats.EvictAlreadyEvicted
+	case !line.Dirty:
+		outcome = stats.EvictCleanCopy
+	case ctr.Minor(line.Data, slot) != e.Minor:
+		outcome = stats.EvictStaleCopy
+	case line.Mask&(1<<uint(slot)) != 0:
+		outcome = stats.EvictWrittenBack
+		current = true
+	default:
+		// Value matches but the slot is clean: a prior persist already
+		// captured it and the block was re-dirtied by another slot.
+		outcome = stats.EvictCleanCopy
+	}
+	c.st.AddEvict(outcome)
+
+	switch c.cfg.Scheme {
+	case config.ThothWTBC:
+		if current {
+			c.persistCtrLine(ca, line.Data)
+			line.Dirty = false
+			line.Mask = 0
+		}
+	case config.ThothWTSC:
+		if e.Status&pub.StatusCtrWasDirty == 0 && line != nil && line.Dirty {
+			c.persistCtrLine(ca, line.Data)
+			line.Dirty = false
+			line.Mask = 0
+		}
+	}
+}
+
+// evictMACPartial handles the MAC half of one evicted entry. The evicted
+// second-level MAC is compared against the second-level MAC computed
+// over the corresponding first-level MAC currently in the cache
+// (Section IV-B: "evicted partial update's MAC needs to be compared with
+// a second level 8B MAC computed over the corresponding MAC in the
+// secure metadata cache").
+func (c *Controller) evictMACPartial(e pub.Entry) {
+	dataAddr := int64(e.BlockIndex) * int64(c.cfg.BlockSize)
+	ma := c.lay.MACBlockAddr(dataAddr)
+	slot := c.lay.MACSlot(dataAddr)
+	line := c.macCache.Probe(ma)
+
+	var outcome stats.EvictOutcome
+	current := false
+	switch {
+	case line == nil:
+		outcome = stats.EvictAlreadyEvicted
+	case !line.Dirty:
+		outcome = stats.EvictCleanCopy
+	default:
+		cached := c.eng.MAC2(macs.Get(line.Data, slot, c.cfg.MACSize()))
+		switch {
+		case cached != e.MAC2:
+			outcome = stats.EvictStaleCopy
+		case line.Mask&(1<<uint(slot)) != 0:
+			outcome = stats.EvictWrittenBack
+			current = true
+		default:
+			outcome = stats.EvictCleanCopy
+		}
+	}
+	c.st.AddEvict(outcome)
+
+	switch c.cfg.Scheme {
+	case config.ThothWTBC:
+		if current {
+			c.persistMACLine(ma, line.Data)
+			line.Dirty = false
+			line.Mask = 0
+		}
+	case config.ThothWTSC:
+		if e.Status&pub.StatusMACWasDirty == 0 && line != nil && line.Dirty {
+			c.persistMACLine(ma, line.Data)
+			line.Dirty = false
+			line.Mask = 0
+		}
+	}
+}

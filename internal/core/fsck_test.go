@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+)
+
+func TestCrashInvariantHoldsUnderChurn(t *testing.T) {
+	// Heavy eviction churn: tiny PUB, tiny metadata caches. The
+	// recovery-sufficiency invariant must hold after every persist, for
+	// both eviction policies.
+	for _, s := range []config.Scheme{config.ThothWTSC, config.ThothWTBC} {
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := testConfig(s)
+			cfg.PUBBytes = 8 * int64(cfg.BlockSize)
+			cfg.PCBEntries = 2
+			c := mustNew(t, cfg)
+			var now int64
+			for i := int64(0); i < 600; i++ {
+				addr := (i % 29) * 4096
+				now = c.PersistBlock(now, addr, blockOf(c, byte(i)))
+				if i%37 == 0 {
+					if err := c.VerifyCrashConsistency(); err != nil {
+						t.Fatalf("after persist %d: %v", i, err)
+					}
+				}
+			}
+			if err := c.VerifyCrashConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCrashInvariantHoldsForStrictSchemes(t *testing.T) {
+	for _, s := range []config.Scheme{config.BaselineStrict, config.AnubisECC} {
+		c := mustNew(t, testConfig(s))
+		var now int64
+		for i := int64(0); i < 200; i++ {
+			now = c.PersistBlock(now, (i%13)*4096, blockOf(c, byte(i)))
+		}
+		if err := c.VerifyCrashConsistency(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestCrashInvariantSurvivesOverflow(t *testing.T) {
+	cfg := testConfig(config.ThothWTSC)
+	cfg.PUBBytes = 8 * int64(cfg.BlockSize)
+	cfg.PCBEntries = 2
+	c := mustNew(t, cfg)
+	var now int64
+	// Hammer one block past a minor overflow while touching neighbours.
+	for i := 0; i < 300; i++ {
+		now = c.PersistBlock(now, 4096, blockOf(c, byte(i)))
+		now = c.PersistBlock(now, 4096+int64(cfg.BlockSize), blockOf(c, byte(i)^0xFF))
+	}
+	if c.Stats().CtrOverflows == 0 {
+		t.Fatal("test needs overflow traffic")
+	}
+	if err := c.VerifyCrashConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary interleavings of persists over a small address
+// space never break the invariant under WTSC with maximal churn.
+func TestCrashInvariantProperty(t *testing.T) {
+	f := func(ops []uint8, wtbc bool) bool {
+		s := config.ThothWTSC
+		if wtbc {
+			s = config.ThothWTBC
+		}
+		cfg := testConfig(s)
+		cfg.PUBBytes = 8 * int64(cfg.BlockSize)
+		cfg.PCBEntries = 2
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		var now int64
+		for i, op := range ops {
+			addr := int64(op%41) * int64(cfg.PageBytes) / 2
+			addr -= addr % int64(cfg.BlockSize)
+			now = c.PersistBlock(now, addr, blockOf(c, byte(i)))
+		}
+		return c.VerifyCrashConsistency() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

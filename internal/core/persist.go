@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/crypt"
+	"repro/internal/ctr"
+	"repro/internal/macs"
+	"repro/internal/pub"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// now tracks the controller-local notion of current time so that
+// internal callbacks (cache evictions) can stamp channel work. It is
+// updated at the entry of every public timed operation.
+func (c *Controller) setNow(t int64) {
+	if t > c.nowCycle {
+		c.nowCycle = t
+	}
+}
+
+// ReadBlock performs a secure demand read of one data block: fetch and
+// verify the counter, read the ciphertext, decrypt, and verify the MAC.
+// It returns the completion cycle and the plaintext.
+func (c *Controller) ReadBlock(t int64, addr int64) (int64, []byte) {
+	c.checkAlive()
+	c.setNow(t)
+
+	ctrLine, tc := c.fetchCtr(t, addr)
+	slot := c.lay.CtrSlot(addr)
+	counter := ctr.Counter(ctrLine.Data, slot)
+
+	// Ciphertext read overlaps OTP generation; the later of the two
+	// gates the XOR.
+	dataDone := c.mem.Read(t, addr, c.cfg.ReadLatencyCycles())
+	c.st.NVMReads++
+	ciphertext := c.dev.ReadBlock(addr)
+
+	macLine, tm := c.fetchMAC(t, addr)
+	done := max64(max64(tc+c.aesLat(), dataDone), tm) + c.hashLat()
+
+	plain := c.eng.Decrypt(ciphertext, addr, counter)
+	want := c.eng.MAC(ciphertext, addr, counter, c.cfg.MACSize())
+	if !macs.Equal(macLine.Data, c.lay.MACSlot(addr), c.cfg.MACSize(), want) {
+		panic(fmt.Sprintf("core: MAC verification failed reading %#x (integrity violation)", addr))
+	}
+	return done, plain
+}
+
+// ReadBlockAllowEmpty is ReadBlock for blocks that may never have been
+// written: an unwritten block returns zeros without MAC verification
+// (there is nothing to verify — the allocator would hand out zero-fill
+// pages), while a written block takes the full verified read path.
+func (c *Controller) ReadBlockAllowEmpty(t int64, addr int64) (int64, []byte) {
+	c.checkAlive()
+	if !c.dev.Written(addr) {
+		return t, make([]byte, c.cfg.BlockSize)
+	}
+	return c.ReadBlock(t, addr)
+}
+
+// PersistBlock performs a secure persistent write of one data block (the
+// clwb path): bump the split counter, encrypt, MAC, update the eager
+// tree root, and persist per the configured scheme. It returns the cycle
+// at which the write is durable (inside the ADR domain).
+func (c *Controller) PersistBlock(t int64, addr int64, plain []byte) int64 {
+	c.checkAlive()
+	if len(plain) != c.cfg.BlockSize {
+		panic(fmt.Sprintf("core: persist of %d bytes, block size is %d", len(plain), c.cfg.BlockSize))
+	}
+	c.setNow(t)
+
+	// Counter and MAC block fetches proceed in parallel (the channel
+	// serializes any misses).
+	ctrLine, tc := c.fetchCtr(t, addr)
+	macLine, tm := c.fetchMAC(t, addr)
+	slot := c.lay.CtrSlot(addr)
+
+	// Handle minor-counter overflow before bumping: the whole page is
+	// re-encrypted under the new major and the counter block is
+	// persisted immediately (Section IV-A).
+	tOverflow := int64(0)
+	if ctr.Minor(ctrLine.Data, slot) == crypt.MinorMax {
+		tOverflow = c.reencryptPage(max64(tc, tm), addr, ctrLine)
+		// Page re-encryption touches every MAC block of the page and may
+		// have displaced the line we hold; re-resolve it.
+		macLine, tm = c.fetchMAC(tOverflow, addr)
+	}
+
+	// Dirty state is sampled *after* overflow handling (which persists
+	// and cleans the lines): the WTSC status bits must reflect the state
+	// this update transitions from, or the responsibility chain for
+	// persisting the block on PUB eviction would have a hole.
+	wasCtrDirty := ctrLine.Dirty
+	wasMACDirty := macLine.Dirty
+
+	counter, _ := ctr.Bump(ctrLine.Data, slot)
+
+	// Eager logical tree update: the on-chip root always reflects the
+	// newest counters (the Anubis-style persistent root both schemes
+	// rely on for recovery verification).
+	ctrIdx := c.lay.CtrIndex(c.lay.CtrBlockAddr(addr))
+	treeData := append([]byte(nil), ctrLine.Data...)
+	c.tree.Update(ctrIdx, treeData)
+	c.markTreeDirty(ctrIdx)
+
+	ciphertext := c.eng.Encrypt(plain, addr, counter)
+	mac1 := c.eng.MAC(ciphertext, addr, counter, c.cfg.MACSize())
+	macs.Set(macLine.Data, c.lay.MACSlot(addr), c.cfg.MACSize(), mac1)
+
+	// Crypto critical path: OTP generation + first-level MAC + the
+	// eager update of the small tree over the secure metadata cache
+	// (Table I: 4-level, eager).
+	tCrypto := max64(max64(tc, tm), tOverflow) + c.aesLat() + c.hashLat()
+	tCrypto += int64(c.cfg.CacheTreeLevels) * c.hashLat()
+
+	// WTBC fine-grain dirtiness tracking.
+	ctrLine.Mask |= 1 << uint(slot)
+	macLine.Mask |= 1 << uint(c.lay.MACSlot(addr))
+
+	// Ciphertext becomes durable when it enters the WPQ.
+	c.dev.WriteBlock(addr, ciphertext)
+	res := c.q.Insert(tCrypto, addr)
+	if !res.Coalesced {
+		c.st.AddWrite(stats.WriteData)
+	}
+	done := res.When
+
+	switch {
+	case c.cfg.Scheme.IsThoth():
+		done = max64(done, c.persistThoth(tCrypto, addr, ctrLine, macLine, counter, mac1, wasCtrDirty, wasMACDirty))
+	case c.cfg.Scheme == config.BaselineStrict:
+		done = max64(done, c.persistStrict(tCrypto, addr, ctrLine, macLine))
+	case c.cfg.Scheme == config.AnubisECC:
+		// Counter rides with data in the (hypothetical) ECC bits and the
+		// MAC is written on a parallel chip: metadata persistence is
+		// functionally real but costs no extra block write and no WPQ
+		// slot — exactly the co-location assumption the paper argues
+		// future interfaces break.
+		c.dev.WriteBlock(c.lay.CtrBlockAddr(addr), ctrLine.Data)
+		c.dev.WriteBlock(c.lay.MACBlockAddr(addr), macLine.Data)
+		ctrLine.Dirty = false
+		macLine.Dirty = false
+	default:
+		panic(fmt.Sprintf("core: unknown scheme %v", c.cfg.Scheme))
+	}
+
+	// Anubis shadow tracking: record both metadata updates so recovery
+	// knows which blocks may have been lost with the caches.
+	c.shadowUpdate(tCrypto, shadowCtr, ctrLine.Slot(), c.lay.CtrBlockAddr(addr))
+	c.shadowUpdate(tCrypto, shadowMAC, macLine.Slot(), c.lay.MACBlockAddr(addr))
+	return done
+}
+
+// persistStrict implements the baseline: full counter and MAC blocks are
+// strictly persisted through the WPQ with every data write. Lines end up
+// clean, so natural evictions are free.
+func (c *Controller) persistStrict(t int64, addr int64, ctrLine, macLine *cache.Line) int64 {
+	ca := c.lay.CtrBlockAddr(addr)
+	ma := c.lay.MACBlockAddr(addr)
+
+	c.dev.WriteBlock(ca, ctrLine.Data)
+	resC := c.q.Insert(t, ca)
+	if !resC.Coalesced {
+		c.st.AddWrite(stats.WriteCounter)
+	}
+	ctrLine.Dirty = false
+	ctrLine.Mask = 0
+
+	c.dev.WriteBlock(ma, macLine.Data)
+	resM := c.q.Insert(resC.When, ma)
+	if !resM.Coalesced {
+		c.st.AddWrite(stats.WriteMAC)
+	}
+	macLine.Dirty = false
+	macLine.Mask = 0
+
+	return max64(resC.When, resM.When)
+}
+
+// persistThoth implements the Thoth path: the metadata cache lines stay
+// dirty (write-back), and a packed partial update enters the PCB. A full
+// PCB slot is written to the PUB; crossing the occupancy threshold
+// triggers eviction processing.
+func (c *Controller) persistThoth(t int64, addr int64, ctrLine, macLine *cache.Line, counter crypt.Counter, mac1 []byte, wasCtrDirty, wasMACDirty bool) int64 {
+	ctrLine.Dirty = true
+	macLine.Dirty = true
+
+	mac2 := c.eng.MAC2(mac1)
+	t += c.hashLat() // second-level MAC computation
+
+	var status uint8
+	if wasCtrDirty {
+		status |= pub.StatusCtrWasDirty
+	}
+	if wasMACDirty {
+		status |= pub.StatusMACWasDirty
+	}
+	e := pub.Entry{
+		BlockIndex: uint32(addr / int64(c.cfg.BlockSize)),
+		MAC2:       mac2,
+		Minor:      counter.Minor,
+		Status:     status,
+	}
+	c.st.PartialUpdates++
+	if c.cfg.PCBAfterWPQ {
+		return c.persistThothAfter(t, addr, e)
+	}
+	return c.pcbInsert(t, e)
+}
+
+// pcbInsert coalesces or appends one partial update into the PCB
+// (the augmented PCB-before-WPQ path), making room and posting full
+// blocks past the watermark as needed. Returns the completion cycle.
+func (c *Controller) pcbInsert(t int64, e pub.Entry) int64 {
+	if c.pcb.TryMerge(e) {
+		return t
+	}
+	// Make room if every PCB slot is occupied: post a full block if one
+	// exists, otherwise wait for an in-flight PUB write to retire.
+	for c.pcb.Full() {
+		if blk := c.pcb.PopPostable(); blk != nil {
+			t = c.postPUBBlock(t, blk)
+			continue
+		}
+		if c.mem.Pending() == 0 {
+			panic("core: PCB full with no channel work outstanding")
+		}
+		t = max64(t, c.mem.ForceAny())
+	}
+	c.pcb.Append(e)
+	// Keep posting off the critical path: hand full blocks to the
+	// channel once the unposted population crosses the watermark.
+	for c.pcb.OverWatermark() {
+		blk := c.pcb.PopPostable()
+		if blk == nil {
+			break
+		}
+		t = c.postPUBBlock(t, blk)
+	}
+	return t
+}
+
+// postPUBBlock writes one packed block of partial updates into the PUB
+// ring, evicting from the ring when it is past the occupancy threshold.
+// The caller has already removed the block from the PCB's unposted set.
+func (c *Controller) postPUBBlock(t int64, entries []pub.Entry) int64 {
+	for c.ring.Len() >= c.evictBlocks || c.ring.Full() {
+		c.evictPUBBlock(t)
+	}
+	packed := pub.PackBlock(c.cfg.BlockSize, entries)
+	pubAddr := c.ring.Push(packed)
+	c.pcb.AddPending()
+	c.mem.Post(pubAddr, sim.Item{Ready: t, Dur: c.cfg.WriteLatencyCycles(), Done: func(int64) {
+		c.pcb.CompletePending()
+	}})
+	c.st.AddWrite(stats.WritePCB)
+	return t
+}
+
+// reencryptPage handles a minor-counter overflow: every previously
+// written block of the page is decrypted under its old counter and
+// re-encrypted under the incremented major, MAC blocks are refreshed,
+// and the counter block is persisted immediately. Returns the cycle at
+// which the page rewrite is accounted.
+func (c *Controller) reencryptPage(t int64, addr int64, ctrLine *cache.Line) int64 {
+	c.st.CtrOverflows++
+	blocksPerPage := c.cfg.BlocksPerPage()
+	pageBase := addr - (addr-c.lay.DataBase)%int64(c.cfg.PageBytes)
+
+	oldMajor := ctr.Major(ctrLine.Data)
+	oldMinors := make([]uint8, blocksPerPage)
+	for s := 0; s < blocksPerPage; s++ {
+		oldMinors[s] = ctr.Minor(ctrLine.Data, s)
+	}
+	newMajor := oldMajor + 1
+	newCtr := crypt.Counter{Major: newMajor, Minor: 0}
+
+	for s := 0; s < blocksPerPage; s++ {
+		blk := pageBase + int64(s)*int64(c.cfg.BlockSize)
+		if !c.dev.Written(blk) {
+			continue
+		}
+		old := c.dev.Peek(blk)
+		oldCtr := crypt.Counter{Major: oldMajor, Minor: oldMinors[s]}
+		plain := c.eng.Decrypt(old, blk, oldCtr)
+		fresh := c.eng.Encrypt(plain, blk, newCtr)
+		c.dev.WriteBlock(blk, fresh)
+		c.mem.Post(blk, sim.Item{Ready: t, Dur: c.cfg.WriteLatencyCycles()})
+		c.st.AddWrite(stats.WriteOther)
+		t += c.aesLat() // decrypt+encrypt pipelined per block
+
+		// Refresh the block's MAC under the new counter.
+		mac1 := c.eng.MAC(fresh, blk, newCtr, c.cfg.MACSize())
+		macLine, tm := c.fetchMAC(t, blk)
+		t = max64(t, tm) + c.hashLat()
+		macs.Set(macLine.Data, c.lay.MACSlot(blk), c.cfg.MACSize(), mac1)
+		c.persistMACLine(c.lay.MACBlockAddr(blk), macLine.Data)
+		macLine.Dirty = false
+		macLine.Mask = 0
+	}
+
+	// Apply the reset to the cached counter block and persist it
+	// immediately (both schemes).
+	ctr.SetMajor(ctrLine.Data, newMajor)
+	for s := 0; s < blocksPerPage; s++ {
+		ctr.SetMinor(ctrLine.Data, s, 0)
+	}
+	c.persistCtrLine(c.lay.CtrBlockAddr(addr), ctrLine.Data)
+	ctrLine.Dirty = false
+	ctrLine.Mask = 0
+
+	ctrIdx := c.lay.CtrIndex(c.lay.CtrBlockAddr(addr))
+	c.tree.Update(ctrIdx, append([]byte(nil), ctrLine.Data...))
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

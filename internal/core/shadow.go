@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/layout"
+	"repro/internal/stats"
+)
+
+// Shadow-table support (Anubis, ISCA'19 — the substrate the paper's
+// recovery path builds on, Section IV-D). When cfg.ShadowTracking is
+// enabled, every update to a counter- or MAC-cache line also records
+// {block address, dirty flag} in the frame's shadow slot in NVM, going
+// through the WPQ like any other persistent write — consecutive updates
+// landing in the same shadow block coalesce, which is why the scheme is
+// cheap. Recovery reads the shadow region to learn exactly which
+// metadata blocks may have been lost with the caches, reconstructing
+// only those tree paths instead of the whole tree.
+//
+// Shadow entries are written on updates only; cleaning a line in place
+// does not rewrite the slot. Stale dirty flags therefore survive as
+// false positives, which recovery treats as "possibly inconsistent" —
+// safe, just slightly more work.
+
+// shadowDirtyFlag marks a live (possibly lost) entry.
+const shadowDirtyFlag = 1
+
+// shadowKind distinguishes the two tracked caches for slot numbering:
+// counter-cache frames come first, MAC-cache frames after.
+type shadowKind int
+
+const (
+	shadowCtr shadowKind = iota
+	shadowMAC
+)
+
+// shadowUpdate records a metadata-cache update in the shadow table. The
+// caller passes the cache frame index (Line.Slot) and the block address
+// the frame now holds.
+func (c *Controller) shadowUpdate(t int64, kind shadowKind, frame int, blockAddr int64) {
+	if !c.cfg.ShadowTracking {
+		return
+	}
+	slot := frame
+	if kind == shadowMAC {
+		slot += c.cfg.CtrCacheBytes / c.cfg.BlockSize
+	}
+	shadowBlock, off := c.lay.ShadowSlotAddr(slot)
+	blk := c.dev.Peek(shadowBlock)
+	binary.LittleEndian.PutUint64(blk[off:off+8], uint64(blockAddr))
+	binary.LittleEndian.PutUint64(blk[off+8:off+16], shadowDirtyFlag)
+	c.dev.WriteBlock(shadowBlock, blk)
+	res := c.q.Insert(t, shadowBlock)
+	if !res.Coalesced {
+		c.st.AddWrite(stats.WriteShadow)
+	}
+}
+
+// ShadowSuspects reads the shadow table of a device image and returns
+// the distinct counter- and MAC-block addresses flagged as possibly
+// dirty at crash time. It is a free function so recovery can use it
+// without a live controller.
+func ShadowSuspects(lay *layout.Layout, peek func(addr int64) []byte) (ctrBlocks, macBlocks []int64) {
+	seen := map[int64]bool{}
+	for slot := 0; slot < lay.ShadowSlots; slot++ {
+		blockAddr, off := lay.ShadowSlotAddr(slot)
+		blk := peek(blockAddr)
+		addr := int64(binary.LittleEndian.Uint64(blk[off : off+8]))
+		flags := binary.LittleEndian.Uint64(blk[off+8 : off+16])
+		if flags&shadowDirtyFlag == 0 || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		switch lay.RegionOf(addr) {
+		case layout.RegionCounter:
+			ctrBlocks = append(ctrBlocks, addr)
+		case layout.RegionMAC:
+			macBlocks = append(macBlocks, addr)
+		}
+	}
+	return ctrBlocks, macBlocks
+}

@@ -1,0 +1,155 @@
+// Package crypt implements the cryptographic engine of the secure memory
+// controller: counter-mode (AES-CTR) memory encryption with split-counter
+// initialization vectors, first-level block MACs, the 8-byte second-level
+// MACs stored in PUB entries, and the keyed hashes used by the Bonsai
+// Merkle Tree.
+//
+// The construction follows Figure 1 of the paper: the IV for a block is
+// formed from the block address (spatial uniqueness), the split counter
+// (temporal uniqueness: 64-bit major + 7-bit minor), and padding. The IV
+// is encrypted with AES-128 to produce a one-time pad that is XORed with
+// the plaintext/ciphertext, hiding the AES latency behind the data fetch.
+//
+// MACs and tree hashes are keyed SHA-256 truncated to the architectural
+// widths (the hardware would use a dedicated MAC unit such as an AES-GMAC
+// engine; a keyed hash preserves the properties the model needs —
+// determinism, key dependence, and collision resistance for tamper
+// detection).
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Engine holds the processor's memory-encryption keys. One engine
+// corresponds to one secure processor; keys never leave the chip.
+type Engine struct {
+	aes    cipher.Block
+	macKey [16]byte
+}
+
+// NewEngine derives a deterministic engine from a seed so experiments are
+// reproducible. Production hardware would draw the keys from fuses or a
+// DRBG at boot; determinism here only affects simulation repeatability.
+func NewEngine(seed int64) *Engine {
+	var aesKey [16]byte
+	binary.LittleEndian.PutUint64(aesKey[0:8], uint64(seed)^0xA5A5_5A5A_DEAD_BEEF)
+	binary.LittleEndian.PutUint64(aesKey[8:16], uint64(seed)*0x9E37_79B9_7F4A_7C15+1)
+	blk, err := aes.NewCipher(aesKey[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypt: AES key setup: %v", err))
+	}
+	e := &Engine{aes: blk}
+	binary.LittleEndian.PutUint64(e.macKey[0:8], uint64(seed)*0xC2B2_AE3D_27D4_EB4F+7)
+	binary.LittleEndian.PutUint64(e.macKey[8:16], uint64(seed)^0x1655_67C1_B3F7_4034)
+	return e
+}
+
+// Counter is a split encryption counter: a major shared by all blocks of
+// a page and a per-block minor (7 bits architecturally).
+type Counter struct {
+	Major uint64
+	Minor uint8
+}
+
+// MinorBits is the architectural width of the minor counter.
+const MinorBits = 7
+
+// MinorMax is the largest representable minor counter value.
+const MinorMax = 1<<MinorBits - 1
+
+// iv assembles the 16-byte AES input for one 16-byte chunk of a block.
+func iv(addr int64, ctr Counter, chunk int) [16]byte {
+	var v [16]byte
+	binary.LittleEndian.PutUint64(v[0:8], uint64(addr))
+	binary.LittleEndian.PutUint64(v[8:16], ctr.Major<<8|uint64(ctr.Minor))
+	v[15] ^= byte(chunk) // padding / chunk index
+	return v
+}
+
+// Pad produces the one-time pad for n bytes at the given address and
+// counter. n must be a multiple of the AES block size (16).
+func (e *Engine) Pad(addr int64, ctr Counter, n int) []byte {
+	if n <= 0 || n%16 != 0 {
+		panic(fmt.Sprintf("crypt: pad length %d not a positive multiple of 16", n))
+	}
+	out := make([]byte, n)
+	for c := 0; c < n/16; c++ {
+		v := iv(addr, ctr, c)
+		e.aes.Encrypt(out[c*16:(c+1)*16], v[:])
+	}
+	return out
+}
+
+// Encrypt returns the ciphertext of plain under (addr, ctr). Counter-mode
+// encryption is an XOR with the pad, so Decrypt is the same operation.
+func (e *Engine) Encrypt(plain []byte, addr int64, ctr Counter) []byte {
+	pad := e.Pad(addr, ctr, len(plain))
+	out := make([]byte, len(plain))
+	for i := range plain {
+		out[i] = plain[i] ^ pad[i]
+	}
+	return out
+}
+
+// Decrypt returns the plaintext of ciphertext under (addr, ctr).
+func (e *Engine) Decrypt(ciphertext []byte, addr int64, ctr Counter) []byte {
+	return e.Encrypt(ciphertext, addr, ctr)
+}
+
+// keyedSum computes SHA-256(macKey || domain || payload...) and writes the
+// first n bytes into out.
+func (e *Engine) keyedSum(out []byte, domain byte, parts ...[]byte) {
+	h := sha256.New()
+	h.Write(e.macKey[:])
+	h.Write([]byte{domain})
+	for _, p := range parts {
+		h.Write(p)
+	}
+	sum := h.Sum(nil)
+	copy(out, sum[:len(out)])
+}
+
+// Domain-separation tags for the different MAC/hash uses.
+const (
+	domMAC1 byte = 1
+	domMAC2 byte = 2
+	domTree byte = 3
+)
+
+// MAC computes the first-level MAC over (ciphertext, address, counter),
+// truncated to size bytes. The paper uses an 8-to-1 MAC: size is
+// blockSize/8 (16B for a 128B block, 32B for 256B).
+func (e *Engine) MAC(ciphertext []byte, addr int64, ctr Counter, size int) []byte {
+	if size <= 0 || size > sha256.Size {
+		panic(fmt.Sprintf("crypt: MAC size %d out of range", size))
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(addr))
+	binary.LittleEndian.PutUint64(hdr[8:16], ctr.Major<<8|uint64(ctr.Minor))
+	out := make([]byte, size)
+	e.keyedSum(out, domMAC1, hdr[:], ciphertext)
+	return out
+}
+
+// MAC2 computes the 8-byte second-level MAC over a first-level MAC, the
+// compressed form stored in PUB partial-update entries (Section IV-A).
+func (e *Engine) MAC2(firstLevel []byte) uint64 {
+	var out [8]byte
+	e.keyedSum(out[:], domMAC2, firstLevel)
+	return binary.LittleEndian.Uint64(out[:])
+}
+
+// TreeHash computes the 8-byte keyed hash of a Merkle-tree child node
+// identified by its address, used to build parent nodes.
+func (e *Engine) TreeHash(addr int64, node []byte) uint64 {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(addr))
+	var out [8]byte
+	e.keyedSum(out[:], domTree, hdr[:], node)
+	return binary.LittleEndian.Uint64(out[:])
+}

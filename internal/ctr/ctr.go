@@ -1,0 +1,83 @@
+// Package ctr encodes and decodes split-counter blocks (Section II-A).
+//
+// One counter block covers one data page. Its layout is:
+//
+//	bytes 0..7   : 64-bit major counter, shared by every block of the page
+//	bits 64..    : one 7-bit minor counter per data block of the page
+//
+// A 64B block fits the major plus 64 minors (64 + 64*7 = 512 bits), the
+// canonical split-counter arrangement; larger blocks have slack.
+package ctr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/crypt"
+)
+
+// majorBits is the width of the shared major counter.
+const majorBits = 64
+
+// MaxSlots returns how many minor counters a block of the given size can
+// architecturally hold.
+func MaxSlots(blockSize int) int {
+	return (blockSize*8 - majorBits) / crypt.MinorBits
+}
+
+// Major reads the page's major counter.
+func Major(block []byte) uint64 {
+	return binary.LittleEndian.Uint64(block[0:8])
+}
+
+// SetMajor writes the page's major counter.
+func SetMajor(block []byte, v uint64) {
+	binary.LittleEndian.PutUint64(block[0:8], v)
+}
+
+// Minor reads the 7-bit minor counter in the given slot.
+func Minor(block []byte, slot int) uint8 {
+	checkSlot(block, slot)
+	return uint8(bitpack.Get(block, majorBits+slot*crypt.MinorBits, crypt.MinorBits))
+}
+
+// SetMinor writes the 7-bit minor counter in the given slot.
+func SetMinor(block []byte, slot int, v uint8) {
+	checkSlot(block, slot)
+	if v > crypt.MinorMax {
+		panic(fmt.Sprintf("ctr: minor %d exceeds %d bits", v, crypt.MinorBits))
+	}
+	bitpack.Set(block, majorBits+slot*crypt.MinorBits, crypt.MinorBits, uint64(v))
+}
+
+// Counter assembles the full split counter for a slot.
+func Counter(block []byte, slot int) crypt.Counter {
+	return crypt.Counter{Major: Major(block), Minor: Minor(block, slot)}
+}
+
+// Bump increments the minor counter in the given slot and returns the new
+// counter plus whether the minor overflowed. On overflow the minor wraps
+// to zero and the major is incremented: the caller must re-encrypt every
+// block of the page under the new major and persist the counter block
+// immediately (Section IV-A).
+func Bump(block []byte, slot int) (c crypt.Counter, overflow bool) {
+	m := Minor(block, slot)
+	if m == crypt.MinorMax {
+		SetMajor(block, Major(block)+1)
+		// All minors reset so every block of the page is re-encrypted
+		// under the new major with a fresh temporal component.
+		for s := 0; s < MaxSlots(len(block)); s++ {
+			SetMinor(block, s, 0)
+		}
+		return Counter(block, slot), true
+	}
+	SetMinor(block, slot, m+1)
+	return Counter(block, slot), false
+}
+
+func checkSlot(block []byte, slot int) {
+	if slot < 0 || slot >= MaxSlots(len(block)) {
+		panic(fmt.Sprintf("ctr: slot %d out of range for %dB block", slot, len(block)))
+	}
+}

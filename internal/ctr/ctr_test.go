@@ -1,0 +1,134 @@
+package ctr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypt"
+)
+
+func TestMaxSlots(t *testing.T) {
+	// 64B block: (512-64)/7 = 64 minors — the canonical split counter.
+	if got := MaxSlots(64); got != 64 {
+		t.Errorf("MaxSlots(64) = %d, want 64", got)
+	}
+	if got := MaxSlots(128); got != 137 {
+		t.Errorf("MaxSlots(128) = %d, want 137", got)
+	}
+}
+
+func TestMajorRoundTrip(t *testing.T) {
+	b := make([]byte, 64)
+	SetMajor(b, 0xDEADBEEF12345678)
+	if got := Major(b); got != 0xDEADBEEF12345678 {
+		t.Fatalf("Major = %#x", got)
+	}
+}
+
+func TestMinorsIndependent(t *testing.T) {
+	b := make([]byte, 64)
+	SetMajor(b, 42)
+	for s := 0; s < 64; s++ {
+		SetMinor(b, s, uint8(s%128))
+	}
+	if Major(b) != 42 {
+		t.Fatal("minor writes corrupted the major")
+	}
+	for s := 0; s < 64; s++ {
+		if got := Minor(b, s); got != uint8(s%128) {
+			t.Fatalf("Minor(%d) = %d, want %d", s, got, s%128)
+		}
+	}
+}
+
+func TestCounterAssembly(t *testing.T) {
+	b := make([]byte, 64)
+	SetMajor(b, 7)
+	SetMinor(b, 3, 99)
+	if got := Counter(b, 3); got != (crypt.Counter{Major: 7, Minor: 99}) {
+		t.Fatalf("Counter = %+v", got)
+	}
+}
+
+func TestBumpIncrementsMinor(t *testing.T) {
+	b := make([]byte, 64)
+	c, over := Bump(b, 5)
+	if over || c.Minor != 1 || c.Major != 0 {
+		t.Fatalf("first bump = (%+v, %v)", c, over)
+	}
+	c, over = Bump(b, 5)
+	if over || c.Minor != 2 {
+		t.Fatalf("second bump = (%+v, %v)", c, over)
+	}
+	if Minor(b, 4) != 0 || Minor(b, 6) != 0 {
+		t.Fatal("bump leaked into neighbouring slots")
+	}
+}
+
+func TestBumpOverflowResetsPage(t *testing.T) {
+	b := make([]byte, 64)
+	SetMinor(b, 0, crypt.MinorMax)
+	SetMinor(b, 1, 55)
+	c, over := Bump(b, 0)
+	if !over {
+		t.Fatal("bump at MinorMax must overflow")
+	}
+	if c.Major != 1 || c.Minor != 0 {
+		t.Fatalf("post-overflow counter = %+v, want major=1 minor=0", c)
+	}
+	if Minor(b, 1) != 0 {
+		t.Fatal("overflow must reset every minor in the page")
+	}
+}
+
+func TestBadSlotPanics(t *testing.T) {
+	b := make([]byte, 64)
+	for _, slot := range []int{-1, 64, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("slot %d must panic", slot)
+				}
+			}()
+			Minor(b, slot)
+		}()
+	}
+}
+
+func TestOversizedMinorPanics(t *testing.T) {
+	b := make([]byte, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetMinor(128) must panic: minors are 7-bit")
+		}
+	}()
+	SetMinor(b, 0, 128)
+}
+
+// Property: any sequence of bumps to random slots keeps the invariant
+// counter(slot) == (major, number of bumps since last overflow) per slot,
+// tracked against a simple model.
+func TestBumpModelProperty(t *testing.T) {
+	f := func(slots []uint8) bool {
+		b := make([]byte, 64)
+		model := map[int]uint8{}
+		var major uint64
+		for _, s := range slots {
+			slot := int(s) % 64
+			c, over := Bump(b, slot)
+			if over {
+				major++
+				model = map[int]uint8{}
+			} else {
+				model[slot]++
+			}
+			if c.Major != major || c.Minor != model[slot] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/recovery"
+)
+
+// tinyScale makes every experiment generator finish in well under a
+// second so the whole report plumbing is exercised on each test run.
+func tinyScale() Scale {
+	return Scale{
+		WarmupTxs:  60,
+		MeasureTxs: 200,
+		SetupKeys:  256,
+		PUBBytes:   64 << 10,
+		MemBytes:   1 << 30,
+		LLCBytes:   1 << 20,
+	}
+}
+
+// syncWriter guards the report buffer against the parallel prefetcher.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func TestEveryExperimentProducesAReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment plumbing")
+	}
+	cases := []struct {
+		name string
+		want []string
+	}{
+		{"3", []string{"Figure 3", "written-back", "stale-copy"}},
+		{"8", []string{"Figure 8", "btree", "gmean"}},
+		{"9", []string{"Figure 9", "Write-category breakdown"}},
+		{"10", []string{"Figure 10", "tx=2048B"}},
+		{"table2", []string{"Table II", "ciphertext"}},
+		{"table3", []string{"Table III", "merged"}},
+		{"11", []string{"Figure 11", "512k/1M"}},
+		{"12", []string{"Figure 12", "WPQ=16"}},
+		{"vf", []string{"Section V-F", "average"}},
+		{"recovery", []string{"Section IV-D", "rootOK"}},
+		{"eadr", []string{"ADR vs eADR", "eADR gain"}},
+		{"pubsize", []string{"Ablation: PUB size", "written-back"}},
+		{"arrangement", []string{"PCB arrangement", "after-WPQ"}},
+	}
+	out := &syncWriter{}
+	e := NewExperiments(tinyScale(), out)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := e.ByName(tc.name); err != nil {
+				t.Fatalf("experiment %s: %v", tc.name, err)
+			}
+		})
+	}
+	report := out.String()
+	for _, tc := range cases {
+		for _, want := range tc.want {
+			if !strings.Contains(report, want) {
+				t.Errorf("report missing %q (experiment %s)", want, tc.name)
+			}
+		}
+	}
+}
+
+func TestByNameRejectsUnknown(t *testing.T) {
+	e := NewExperiments(tinyScale(), &syncWriter{})
+	if err := e.ByName("nope"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestExperimentCacheHits(t *testing.T) {
+	out := &syncWriter{}
+	e := NewExperiments(tinyScale(), out)
+	cfg := tinyScale().apply(config.Default().WithScheme(config.ThothWTSC))
+	rc := e.runConfig(cfg, "swap")
+	a, err := e.get(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.get(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical run configs must be memoized")
+	}
+}
+
+func TestRunnerCrashMidStream(t *testing.T) {
+	// Integration: drive a workload through the full runner, crash in
+	// the middle, recover, and verify that all persisted data reads back
+	// through a fresh controller.
+	cfg := tinyScale().apply(config.Default().WithScheme(config.ThothWTSC))
+	cfg.PUBBytes = 32 << 10
+	r, err := NewRunner(RunConfig{Config: cfg, Workload: "rbtree", MeasureTxs: 1, SetupKeys: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Setup()
+	r.RunTxs(800)
+	r.Controller().Crash(r.Now())
+	rep, err := recovery.Recover(cfg, r.Controller().Device())
+	if err != nil {
+		t.Fatalf("recovery: %v (%s)", err, rep)
+	}
+	if !rep.RootVerified {
+		t.Fatal("root must verify")
+	}
+}
+
+func TestGmeanAndMean(t *testing.T) {
+	if got := gmean([]float64{2, 8}); got != 4 {
+		t.Errorf("gmean(2,8) = %g, want 4", got)
+	}
+	if got := mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %g, want 2", got)
+	}
+	if gmean(nil) != 0 || mean(nil) != 0 {
+		t.Error("empty aggregates must be 0")
+	}
+}

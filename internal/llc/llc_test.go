@@ -1,0 +1,103 @@
+package llc
+
+import "testing"
+
+func TestLoadMissThenHit(t *testing.T) {
+	l := New(1024, 64, 2, 32, nil)
+	if l.Load(0) {
+		t.Fatal("first load must miss")
+	}
+	if !l.Load(0) {
+		t.Fatal("second load must hit")
+	}
+	hits, misses := l.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestStoreDirtiesAndCLWBCleans(t *testing.T) {
+	l := New(1024, 64, 2, 32, nil)
+	l.Store(0)
+	if l.DirtyLines() != 1 {
+		t.Fatal("store must dirty the line")
+	}
+	if !l.CLWB(0) {
+		t.Fatal("clwb of a dirty line must report a write-back")
+	}
+	if l.DirtyLines() != 0 {
+		t.Fatal("clwb must clean the line")
+	}
+	if !l.Load(0) {
+		t.Fatal("clwb must keep the line resident")
+	}
+	if l.CLWB(0) {
+		t.Fatal("clwb of a clean line must be a no-op")
+	}
+	if l.CLWB(4096) {
+		t.Fatal("clwb of an absent line must be a no-op")
+	}
+}
+
+func TestDirtyEvictionCallback(t *testing.T) {
+	var evicted []int64
+	l := New(128, 64, 2, 32, func(addr int64) { evicted = append(evicted, addr) })
+	l.Store(0)
+	l.Store(64)
+	l.Load(128) // evicts LRU (0), which is dirty
+	if len(evicted) != 1 || evicted[0] != 0 {
+		t.Fatalf("evicted = %v, want [0]", evicted)
+	}
+	// Clean evictions are silent: clean 64 first, then displace it.
+	l.CLWB(64)
+	l.Load(192)
+	if len(evicted) != 1 {
+		t.Fatalf("clean eviction must not call back (got %v)", evicted)
+	}
+}
+
+func TestDropAllIsSilent(t *testing.T) {
+	called := false
+	l := New(1024, 64, 2, 32, func(int64) { called = true })
+	l.Store(0)
+	l.DropAll()
+	if called {
+		t.Fatal("DropAll must not write back (crash semantics)")
+	}
+	if l.DirtyLines() != 0 {
+		t.Fatal("DropAll must empty the cache")
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	l := New(1024, 64, 2, 32, nil)
+	l.Store(0)
+	l.Store(64)
+	l.Load(128) // clean line
+	var flushed []int64
+	n := l.FlushDirty(func(addr int64) { flushed = append(flushed, addr) })
+	if n != 2 || len(flushed) != 2 {
+		t.Fatalf("FlushDirty = %d (%v), want 2 dirty lines", n, flushed)
+	}
+	if l.DirtyLines() != 0 {
+		t.Fatal("flush must clean every line")
+	}
+	// Lines stay resident.
+	if !l.Load(0) || !l.Load(64) {
+		t.Fatal("flush must not evict")
+	}
+	if l.FlushDirty(func(int64) {}) != 0 {
+		t.Fatal("second flush must find nothing")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	l := New(1024, 64, 2, 32, nil)
+	l.Load(0)
+	l.Load(0)
+	l.Store(0)
+	hits, misses := l.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 2 hits / 1 miss", hits, misses)
+	}
+}

@@ -1,0 +1,84 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	d := New(1<<20, 128)
+	for i := int64(0); i < 50; i++ {
+		blk := make([]byte, 128)
+		blk[0] = byte(i)
+		blk[127] = byte(i) ^ 0xFF
+		d.WriteBlock(i*128*3%(1<<20-128)/128*128, blk)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(got) {
+		t.Fatal("image round trip lost contents")
+	}
+	if got.BlockSize() != 128 || got.Capacity() != 1<<20 {
+		t.Fatal("geometry lost")
+	}
+}
+
+func TestLoadImageRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0}, 64), // bad magic
+	}
+	for i, c := range cases {
+		if _, err := LoadImage(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage image accepted", i)
+		}
+	}
+}
+
+func TestLoadImageRejectsBadGeometry(t *testing.T) {
+	d := New(1<<20, 128)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[12] = 0 // zero block size
+	raw[13] = 0
+	if _, err := LoadImage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+// Property: save/load round-trips arbitrary block contents.
+func TestImageRoundTripProperty(t *testing.T) {
+	f := func(writes []struct {
+		Slot uint8
+		Tag  byte
+	}) bool {
+		d := New(64*256, 64)
+		for _, w := range writes {
+			blk := make([]byte, 64)
+			for i := range blk {
+				blk[i] = w.Tag + byte(i)
+			}
+			d.WriteBlock(int64(w.Slot)*64, blk)
+		}
+		var buf bytes.Buffer
+		if d.Save(&buf) != nil {
+			return false
+		}
+		got, err := LoadImage(&buf)
+		return err == nil && d.Equal(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package nvm models the non-volatile memory module: a byte-accurate,
+// sparse backing store addressed at cache-block granularity, with write
+// (wear) accounting used for the paper's lifetime arguments.
+//
+// The device is purely functional; timing lives in internal/sim. Contents
+// survive "crashes" by construction — a crash in this model is simply the
+// loss of all volatile state (caches, in-flight metadata), after which
+// recovery operates directly on the device.
+package nvm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Device is one NVM module.
+type Device struct {
+	blockSize int
+	capacity  int64
+	blocks    map[int64][]byte // block index -> block contents
+	wear      map[int64]int64  // block index -> write count
+
+	// TotalWrites counts every block write since construction (or the
+	// last ResetWear), regardless of address.
+	TotalWrites int64
+	// TotalReads counts every block read.
+	TotalReads int64
+}
+
+// New returns a device of the given capacity in bytes and access
+// granularity (block size) in bytes. Capacity must be a positive multiple
+// of the block size.
+func New(capacity int64, blockSize int) *Device {
+	if blockSize <= 0 || capacity <= 0 || capacity%int64(blockSize) != 0 {
+		panic(fmt.Sprintf("nvm: invalid geometry capacity=%d blockSize=%d", capacity, blockSize))
+	}
+	return &Device{
+		blockSize: blockSize,
+		capacity:  capacity,
+		blocks:    make(map[int64][]byte),
+		wear:      make(map[int64]int64),
+	}
+}
+
+// BlockSize returns the access granularity in bytes.
+func (d *Device) BlockSize() int { return d.blockSize }
+
+// Capacity returns the module capacity in bytes.
+func (d *Device) Capacity() int64 { return d.capacity }
+
+func (d *Device) index(addr int64) int64 {
+	if addr < 0 || addr >= d.capacity {
+		panic(fmt.Sprintf("nvm: address %#x out of range [0,%#x)", addr, d.capacity))
+	}
+	if addr%int64(d.blockSize) != 0 {
+		panic(fmt.Sprintf("nvm: address %#x not aligned to block size %d", addr, d.blockSize))
+	}
+	return addr / int64(d.blockSize)
+}
+
+// ReadBlock returns a copy of the block at the given block-aligned byte
+// address. Never-written blocks read as zeros (NVM modules ship zeroed in
+// this model).
+func (d *Device) ReadBlock(addr int64) []byte {
+	idx := d.index(addr)
+	d.TotalReads++
+	out := make([]byte, d.blockSize)
+	if b, ok := d.blocks[idx]; ok {
+		copy(out, b)
+	}
+	return out
+}
+
+// Peek is ReadBlock without touching the read counter; used by tests and
+// invariant checks that must not perturb statistics.
+func (d *Device) Peek(addr int64) []byte {
+	idx := d.index(addr)
+	out := make([]byte, d.blockSize)
+	if b, ok := d.blocks[idx]; ok {
+		copy(out, b)
+	}
+	return out
+}
+
+// WriteBlock stores data (exactly one block) at the block-aligned byte
+// address and bumps wear counters.
+func (d *Device) WriteBlock(addr int64, data []byte) {
+	if len(data) != d.blockSize {
+		panic(fmt.Sprintf("nvm: write of %d bytes, block size is %d", len(data), d.blockSize))
+	}
+	idx := d.index(addr)
+	b, ok := d.blocks[idx]
+	if !ok {
+		b = make([]byte, d.blockSize)
+		d.blocks[idx] = b
+	}
+	copy(b, data)
+	d.wear[idx]++
+	d.TotalWrites++
+}
+
+// ReadRange copies n bytes starting at an arbitrary (unaligned) byte
+// address, crossing block boundaries as needed. It does not count as
+// device reads; it exists for recovery-time scanning and debugging.
+func (d *Device) ReadRange(addr int64, n int) []byte {
+	if addr < 0 || n < 0 || addr+int64(n) > d.capacity {
+		panic(fmt.Sprintf("nvm: range [%#x,+%d) out of bounds", addr, n))
+	}
+	out := make([]byte, n)
+	bs := int64(d.blockSize)
+	for off := int64(0); off < int64(n); {
+		idx := (addr + off) / bs
+		in := (addr + off) % bs
+		take := bs - in
+		if rem := int64(n) - off; take > rem {
+			take = rem
+		}
+		if b, ok := d.blocks[idx]; ok {
+			copy(out[off:off+take], b[in:in+take])
+		}
+		off += take
+	}
+	return out
+}
+
+// ForEachWritten visits every ever-written block whose address falls in
+// [base, base+size), in ascending address order. Recovery uses this to
+// rebuild integrity state over the counter region without scanning the
+// full (sparse) address space.
+func (d *Device) ForEachWritten(base, size int64, fn func(addr int64, block []byte)) {
+	if base < 0 || size < 0 || base+size > d.capacity {
+		panic(fmt.Sprintf("nvm: region [%#x,+%d) out of bounds", base, size))
+	}
+	bs := int64(d.blockSize)
+	lo, hi := base/bs, (base+size)/bs
+	idxs := make([]int64, 0, 64)
+	for idx := range d.blocks {
+		if idx >= lo && idx < hi {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		fn(idx*bs, d.blocks[idx])
+	}
+}
+
+// Written reports whether the block at addr has ever been written.
+func (d *Device) Written(addr int64) bool {
+	_, ok := d.blocks[d.index(addr)]
+	return ok
+}
+
+// Wear returns the write count of the block holding addr.
+func (d *Device) Wear(addr int64) int64 { return d.wear[d.index(addr)] }
+
+// MaxWear returns the highest per-block write count and how many blocks
+// were ever written. The ratio of TotalWrites to written blocks versus
+// MaxWear indicates wear skew (NVM lifetime is limited by the hottest
+// block).
+func (d *Device) MaxWear() (maxWrites int64, blocksWritten int) {
+	for _, w := range d.wear {
+		if w > maxWrites {
+			maxWrites = w
+		}
+	}
+	return maxWrites, len(d.wear)
+}
+
+// ResetWear zeroes all wear accounting (used between warm-up and the
+// measured phase of an experiment).
+func (d *Device) ResetWear() {
+	d.wear = make(map[int64]int64)
+	d.TotalWrites = 0
+	d.TotalReads = 0
+}
+
+// Clone returns a deep copy of the device, including contents and wear.
+// Recovery tests clone the post-crash image so they can verify the
+// recovery procedure did not corrupt unrelated state.
+func (d *Device) Clone() *Device {
+	c := New(d.capacity, d.blockSize)
+	for idx, b := range d.blocks {
+		nb := make([]byte, d.blockSize)
+		copy(nb, b)
+		c.blocks[idx] = nb
+	}
+	for idx, w := range d.wear {
+		c.wear[idx] = w
+	}
+	c.TotalWrites = d.TotalWrites
+	c.TotalReads = d.TotalReads
+	return c
+}
+
+// Equal reports whether two devices have identical contents (wear and
+// counters are ignored). Zero blocks compare equal to absent blocks.
+func (d *Device) Equal(o *Device) bool {
+	if d.capacity != o.capacity || d.blockSize != o.blockSize {
+		return false
+	}
+	check := func(a, b *Device) bool {
+		for idx, ab := range a.blocks {
+			bb := b.blocks[idx]
+			for i, v := range ab {
+				var w byte
+				if bb != nil {
+					w = bb[i]
+				}
+				if v != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return check(d, o) && check(o, d)
+}

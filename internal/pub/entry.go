@@ -1,0 +1,124 @@
+// Package pub implements the data structures of Thoth's partial-update
+// machinery (Section IV): the packed partial-update entry, the
+// persistent combining buffer (PCB) carved out of ADR-backed WPQ
+// entries, and the PUB itself — a persistent FIFO circular buffer in
+// NVM.
+//
+// One entry records the security-metadata consequences of a single
+// persistent data-block write: the 8-byte second-level MAC of the
+// block's new first-level MAC, the new 7-bit minor counter, and two
+// status bits used by the WTSC eviction policy (one for the counter
+// block, one for the MAC block: each records whether that metadata block
+// was already dirty in the metadata cache when the update was inserted).
+// Entries are 105 bits and pack 9 to a 128B block, 19 to a 256B block
+// (Table I).
+package pub
+
+import (
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/config"
+	"repro/internal/crypt"
+)
+
+// Status bit assignments within an entry's 2-bit status field.
+const (
+	// StatusCtrWasDirty is set when the counter block was already dirty
+	// in the counter cache at insertion time (WTSC: a prior partial
+	// update will persist this one implicitly).
+	StatusCtrWasDirty = 1 << 0
+	// StatusMACWasDirty is the same for the MAC block in the MAC cache.
+	StatusMACWasDirty = 1 << 1
+)
+
+// Entry is one partial security-metadata update.
+type Entry struct {
+	// BlockIndex is the data-block index (dataAddr / blockSize); the
+	// architectural field is 32 bits, addressing 512GB at 128B blocks.
+	BlockIndex uint32
+	// MAC2 is the 8-byte second-level MAC computed over the block's new
+	// first-level MAC.
+	MAC2 uint64
+	// Minor is the new 7-bit minor counter value.
+	Minor uint8
+	// Status holds the WTSC status bits (2 bits).
+	Status uint8
+}
+
+// Field layout within the 105-bit entry.
+const (
+	offMAC2   = 0
+	offAddr   = 64
+	offMinor  = 96
+	offStatus = 103
+)
+
+// EntriesPerBlock returns how many entries pack into one block.
+func EntriesPerBlock(blockSize int) int {
+	return blockSize * 8 / config.PartialEntryBits
+}
+
+// PackBlock serializes entries into one cache block. len(entries) must
+// equal EntriesPerBlock(blockSize); callers with a partially filled set
+// (crash while coalescing, Section IV-A) duplicate existing entries to
+// fill the block first — see FillByDuplication.
+func PackBlock(blockSize int, entries []Entry) []byte {
+	n := EntriesPerBlock(blockSize)
+	if len(entries) != n {
+		panic(fmt.Sprintf("pub: packing %d entries, block holds %d", len(entries), n))
+	}
+	out := make([]byte, blockSize)
+	for i, e := range entries {
+		base := i * config.PartialEntryBits
+		if e.Minor > crypt.MinorMax {
+			panic(fmt.Sprintf("pub: minor %d exceeds 7 bits", e.Minor))
+		}
+		if e.Status > 3 {
+			panic(fmt.Sprintf("pub: status %d exceeds 2 bits", e.Status))
+		}
+		bitpack.Set(out, base+offMAC2, 64, e.MAC2)
+		bitpack.Set(out, base+offAddr, 32, uint64(e.BlockIndex))
+		bitpack.Set(out, base+offMinor, 7, uint64(e.Minor))
+		bitpack.Set(out, base+offStatus, 2, uint64(e.Status))
+	}
+	return out
+}
+
+// UnpackBlock deserializes a packed PUB block.
+func UnpackBlock(blockSize int, block []byte) []Entry {
+	if len(block) != blockSize {
+		panic(fmt.Sprintf("pub: unpacking %d bytes, block size is %d", len(block), blockSize))
+	}
+	n := EntriesPerBlock(blockSize)
+	out := make([]Entry, n)
+	for i := range out {
+		base := i * config.PartialEntryBits
+		out[i] = Entry{
+			MAC2:       bitpack.Get(block, base+offMAC2, 64),
+			BlockIndex: uint32(bitpack.Get(block, base+offAddr, 32)),
+			Minor:      uint8(bitpack.Get(block, base+offMinor, 7)),
+			Status:     uint8(bitpack.Get(block, base+offStatus, 2)),
+		}
+	}
+	return out
+}
+
+// FillByDuplication pads a partially filled entry set to exactly n
+// entries by repeating existing ones (the paper's crash-time trick:
+// "we duplicate the existing partial entries upon a crash to fill a full
+// cache block"). Recovery merges are idempotent, so duplicates are
+// harmless. It panics on an empty set.
+func FillByDuplication(entries []Entry, n int) []Entry {
+	if len(entries) == 0 {
+		panic("pub: cannot fill an empty entry set")
+	}
+	if len(entries) > n {
+		panic(fmt.Sprintf("pub: %d entries exceed block capacity %d", len(entries), n))
+	}
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = entries[i%len(entries)]
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// testConfig mirrors the core package's small test configuration.
+func testConfig(s config.Scheme) config.Config {
+	cfg := config.Default().WithScheme(s)
+	cfg.MemBytes = 256 << 20
+	cfg.PUBBytes = 16 << 10
+	cfg.CtrCacheBytes = 4 << 10
+	cfg.MACCacheBytes = 8 << 10
+	cfg.MTCacheBytes = 16 << 10
+	return cfg
+}
+
+// runAndCrash persists n blocks (addresses i*stride), crashes, and
+// returns the controller plus the plaintext model.
+func runAndCrash(t *testing.T, cfg config.Config, n int, stride int64) (*core.Controller, map[int64][]byte) {
+	t.Helper()
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64][]byte{}
+	var now int64
+	for i := 0; i < n; i++ {
+		addr := int64(i%37) * stride
+		data := make([]byte, cfg.BlockSize)
+		for j := range data {
+			data[j] = byte(i) ^ byte(j) ^ 0xA5
+		}
+		now = c.PersistBlock(now, addr, data)
+		model[addr] = data
+	}
+	c.Crash(now)
+	return c, model
+}
+
+func verifyReadable(t *testing.T, cfg config.Config, c *core.Controller, model map[int64][]byte) {
+	t.Helper()
+	c2, err := core.Attach(cfg, c.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range model {
+		_, got := c2.ReadBlock(0, addr)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %#x lost across crash+recovery", addr)
+		}
+	}
+}
+
+func TestRecoverThothCrash(t *testing.T) {
+	for _, s := range []config.Scheme{config.ThothWTSC, config.ThothWTBC} {
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := testConfig(s)
+			c, model := runAndCrash(t, cfg, 500, 4096)
+			rep, err := Recover(cfg, c.Device())
+			if err != nil {
+				t.Fatalf("recovery failed: %v (%s)", err, rep)
+			}
+			if !rep.RootVerified {
+				t.Fatal("root must verify after recovery")
+			}
+			if rep.PUBEntries == 0 {
+				t.Fatal("a Thoth crash image must contain PUB entries")
+			}
+			if rep.MergedCtr == 0 {
+				t.Fatal("recovery of a dirty-cache crash must merge counters")
+			}
+			verifyReadable(t, cfg, c, model)
+		})
+	}
+}
+
+func TestRecoverWithPartialPCB(t *testing.T) {
+	// A number of persists that is not a multiple of the PCB block
+	// capacity leaves in-progress entries in the PCB at crash time; they
+	// are flushed by duplication and must merge idempotently.
+	cfg := testConfig(config.ThothWTSC)
+	c, model := runAndCrash(t, cfg, 95, 4096) // 95 % 9 != 0
+	rep, err := Recover(cfg, c.Device())
+	if err != nil {
+		t.Fatalf("recovery failed: %v (%s)", err, rep)
+	}
+	verifyReadable(t, cfg, c, model)
+}
+
+func TestRecoverBaselineCrash(t *testing.T) {
+	cfg := testConfig(config.BaselineStrict)
+	c, model := runAndCrash(t, cfg, 300, 4096)
+	rep, err := Recover(cfg, c.Device())
+	if err != nil {
+		t.Fatalf("baseline image must recover trivially: %v", err)
+	}
+	if rep.PUBEntries != 0 {
+		t.Fatal("baseline has no PUB entries")
+	}
+	verifyReadable(t, cfg, c, model)
+}
+
+func TestRecoverAnubisECCCrash(t *testing.T) {
+	cfg := testConfig(config.AnubisECC)
+	c, model := runAndCrash(t, cfg, 300, 4096)
+	if _, err := Recover(cfg, c.Device()); err != nil {
+		t.Fatalf("AnubisECC image must recover via co-located metadata: %v", err)
+	}
+	verifyReadable(t, cfg, c, model)
+}
+
+func TestRecoveryIsIdempotent(t *testing.T) {
+	cfg := testConfig(config.ThothWTSC)
+	c, model := runAndCrash(t, cfg, 200, 4096)
+	if _, err := Recover(cfg, c.Device()); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Recover(cfg, c.Device())
+	if err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	if rep2.MergedCtr != 0 || rep2.MergedMAC != 0 {
+		t.Fatalf("second recovery merged %d/%d entries, want 0/0 (idempotence)",
+			rep2.MergedCtr, rep2.MergedMAC)
+	}
+	verifyReadable(t, cfg, c, model)
+}
+
+func TestTamperedCounterRegionDetected(t *testing.T) {
+	cfg := testConfig(config.ThothWTSC)
+	c, _ := runAndCrash(t, cfg, 200, 4096)
+	dev := c.Device()
+	lay := c.Layout()
+	// Flip a bit in a written counter block.
+	blk := dev.Peek(lay.CtrBase)
+	blk[3] ^= 0x10
+	dev.WriteBlock(lay.CtrBase, blk)
+	_, err := Recover(cfg, dev)
+	if !errors.Is(err, ErrRootMismatch) {
+		t.Fatalf("err = %v, want ErrRootMismatch", err)
+	}
+}
+
+func TestTamperedPUBDetected(t *testing.T) {
+	cfg := testConfig(config.ThothWTSC)
+	c, _ := runAndCrash(t, cfg, 500, 4096)
+	dev := c.Device()
+	lay := c.Layout()
+	// Corrupt every PUB block: any entry recovery depended on is now
+	// unusable, so the merged image cannot reach the persisted root.
+	for i := int64(0); i < lay.PUBBlocks(); i++ {
+		addr := lay.PUBBlockAddr(i)
+		if !dev.Written(addr) {
+			continue
+		}
+		blk := dev.Peek(addr)
+		for j := range blk {
+			blk[j] ^= 0xFF
+		}
+		dev.WriteBlock(addr, blk)
+	}
+	_, err := Recover(cfg, dev)
+	if !errors.Is(err, ErrRootMismatch) {
+		t.Fatalf("err = %v, want ErrRootMismatch", err)
+	}
+}
+
+func TestReplayedStaleCounterDetected(t *testing.T) {
+	cfg := testConfig(config.BaselineStrict)
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, cfg.BlockSize)
+	now := c.PersistBlock(0, 4096, data)
+	lay := c.Layout()
+	old := c.Device().Peek(lay.CtrBlockAddr(4096))
+	// More writes advance the counter.
+	for i := 0; i < 5; i++ {
+		now = c.PersistBlock(now, 4096, data)
+	}
+	c.Crash(now)
+	// Replay attack: restore the old counter block.
+	c.Device().WriteBlock(lay.CtrBlockAddr(4096), old)
+	if _, err := Recover(cfg, c.Device()); !errors.Is(err, ErrRootMismatch) {
+		t.Fatalf("err = %v, want ErrRootMismatch (replay must be detected)", err)
+	}
+}
+
+func TestRecoverRejectsMissingControlState(t *testing.T) {
+	cfg := testConfig(config.ThothWTSC)
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No crash: the control region was never written.
+	if _, err := Recover(cfg, c.Device()); err == nil {
+		t.Fatal("recovery without a persisted root must fail")
+	}
+}
+
+func TestEstimateMatchesPaperBallpark(t *testing.T) {
+	// Section IV-D: "a marginal extra recovery time of 7 seconds even
+	// for a PUB as large as 64MB". Our model must land in the same
+	// order of magnitude for the full 64MB PUB.
+	cfg := config.Default() // 64MB PUB, 128B blocks
+	secs := EstimateSeconds(cfg, cfg.PUBBlocks())
+	if secs < 1 || secs > 20 {
+		t.Fatalf("estimated recovery = %.2fs for 64MB PUB, want O(7s)", secs)
+	}
+	// And it scales linearly with PUB size.
+	half := EstimateSeconds(cfg, cfg.PUBBlocks()/2)
+	if half <= 0 || half >= secs {
+		t.Fatalf("half PUB estimate %.2fs not below full %.2fs", half, secs)
+	}
+}
+
+func TestRecoverAfterPUBEvictions(t *testing.T) {
+	// Enough traffic that the tiny ring evicts many blocks before the
+	// crash: eviction discards must never lose a recoverable update.
+	cfg := testConfig(config.ThothWTSC)
+	cfg.PUBBytes = 8 * int64(cfg.BlockSize)
+	cfg.PCBEntries = 2
+	c, model := runAndCrash(t, cfg, 2000, 4096)
+	if c.Stats().PUBEvictions == 0 {
+		t.Fatal("test needs eviction traffic to be meaningful")
+	}
+	rep, err := Recover(cfg, c.Device())
+	if err != nil {
+		t.Fatalf("recovery failed after evictions: %v (%s)", err, rep)
+	}
+	verifyReadable(t, cfg, c, model)
+}
+
+func TestRecoverPCBAfterWPQCrash(t *testing.T) {
+	// The alternative PCB arrangement (Section IV-C) must produce
+	// recoverable crash images too.
+	cfg := testConfig(config.ThothWTSC)
+	cfg.PCBAfterWPQ = true
+	c, model := runAndCrash(t, cfg, 800, 4096)
+	rep, err := Recover(cfg, c.Device())
+	if err != nil {
+		t.Fatalf("recovery failed: %v (%s)", err, rep)
+	}
+	verifyReadable(t, cfg, c, model)
+}

@@ -1,0 +1,144 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/stats"
+)
+
+func shadowConfig() config.Config {
+	cfg := testConfig(config.ThothWTSC)
+	cfg.ShadowTracking = true
+	return cfg
+}
+
+func TestShadowTrackedCrashRecovers(t *testing.T) {
+	cfg := shadowConfig()
+	c, model := runAndCrash(t, cfg, 500, 4096)
+	rep, err := Recover(cfg, c.Device())
+	if err != nil {
+		t.Fatalf("recovery: %v (%s)", err, rep)
+	}
+	if rep.ShadowCtrSuspects == 0 {
+		t.Fatal("shadow table must flag lost counter blocks")
+	}
+	if rep.FastRecoverySeconds <= 0 || rep.FullRebuildSeconds <= 0 {
+		t.Fatal("shadow report must model both recovery paths")
+	}
+	verifyReadable(t, cfg, c, model)
+}
+
+func TestShadowSuspectsCoverDirtyLines(t *testing.T) {
+	// Soundness: every counter block that was dirty in the cache at
+	// crash time must be flagged in the shadow table (false positives
+	// are fine; false negatives would break fast recovery).
+	cfg := shadowConfig()
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now int64
+	dirty := map[int64]bool{}
+	for i := 0; i < 400; i++ {
+		addr := int64(i%37) * 4096
+		data := make([]byte, cfg.BlockSize)
+		data[0] = byte(i)
+		now = c.PersistBlock(now, addr, data)
+	}
+	// Snapshot dirty counter blocks before the crash wipes the caches.
+	lay := c.Layout()
+	c.ForEachDirtyCtr(func(addr int64) { dirty[addr] = true })
+	c.Crash(now)
+
+	ctrSus, _ := core.ShadowSuspects(lay, c.Device().Peek)
+	flagged := map[int64]bool{}
+	for _, a := range ctrSus {
+		flagged[a] = true
+	}
+	for addr := range dirty {
+		if !flagged[addr] {
+			t.Fatalf("dirty counter block %#x not flagged by shadow table", addr)
+		}
+	}
+}
+
+func TestShadowWritesAreCountedAndCheap(t *testing.T) {
+	// The shadow stream must exist but coalesce well in the WPQ (the
+	// paper's "other categories ... their numbers are low").
+	run := func(shadow bool) *stats.Stats {
+		cfg := testConfig(config.ThothWTSC)
+		cfg.ShadowTracking = shadow
+		c, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var now int64
+		for i := 0; i < 500; i++ {
+			data := make([]byte, cfg.BlockSize)
+			data[0] = byte(i)
+			now = c.PersistBlock(now, int64(i%17)*4096, data)
+		}
+		return c.Stats()
+	}
+	with := run(true)
+	without := run(false)
+	if with.Writes(stats.WriteShadow) == 0 {
+		t.Fatal("shadow tracking must produce shadow writes")
+	}
+	if without.Writes(stats.WriteShadow) != 0 {
+		t.Fatal("shadow writes without tracking enabled")
+	}
+	// Coalescing keeps the overhead modest: far fewer shadow block
+	// writes than metadata updates (2 per persist = 1000 updates).
+	if with.Writes(stats.WriteShadow) > 500 {
+		t.Fatalf("shadow writes = %d, want heavy coalescing", with.Writes(stats.WriteShadow))
+	}
+}
+
+func TestFastRecoveryBeatsFullRebuild(t *testing.T) {
+	// The shadow wins when the persisted working set is much larger than
+	// the metadata caches: the full rebuild scans thousands of counter
+	// blocks, the fast path only the few dozen that were cached dirty.
+	cfg := shadowConfig()
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now int64
+	for i := 0; i < 3000; i++ {
+		data := make([]byte, cfg.BlockSize)
+		data[0] = byte(i)
+		now = c.PersistBlock(now, int64(i)*4096, data) // 3000 distinct pages
+	}
+	c.Crash(now)
+	rep, err := Recover(cfg, c.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FastRecoverySeconds >= rep.FullRebuildSeconds {
+		t.Fatalf("fast path %.4fs must beat full rebuild %.4fs (suspects=%d)",
+			rep.FastRecoverySeconds, rep.FullRebuildSeconds,
+			rep.ShadowCtrSuspects+rep.ShadowMACSuspects)
+	}
+}
+
+func TestShadowRegionPlacement(t *testing.T) {
+	lay, err := layout.New(shadowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.ShadowSlots <= 0 || lay.ShadowBytes <= 0 {
+		t.Fatal("shadow region must be allocated")
+	}
+	if lay.RegionOf(lay.ShadowBase) != layout.RegionShadow {
+		t.Fatal("shadow base must classify as shadow region")
+	}
+	// Slots must stay inside the region.
+	blk, off := lay.ShadowSlotAddr(lay.ShadowSlots - 1)
+	if blk+int64(off) >= lay.ShadowBase+lay.ShadowBytes {
+		t.Fatal("last shadow slot escapes the region")
+	}
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadOnIdleChannel(t *testing.T) {
+	ch := NewChannel()
+	if done := ch.Read(100, 600); done != 700 {
+		t.Fatalf("read done = %d, want 700", done)
+	}
+	if done := ch.Read(100, 600); done != 1300 {
+		t.Fatalf("back-to-back read done = %d, want 1300 (serialized)", done)
+	}
+}
+
+func TestReadBypassesQueuedWrites(t *testing.T) {
+	ch := NewChannel()
+	// Ten writes queued at t=0, each 2000 cycles.
+	for i := 0; i < 10; i++ {
+		ch.Post(Item{Ready: 0, Dur: 2000})
+	}
+	// A read at t=1: exactly one write is in flight (started at 0), so
+	// the read starts at 2000, not after all ten writes. (A read arriving
+	// at exactly t=0 would win the tie: reads have priority.)
+	if done := ch.Read(1, 600); done != 2600 {
+		t.Fatalf("read done = %d, want 2600 (waits for one in-flight write)", done)
+	}
+	if ch.Pending() != 9 {
+		t.Fatalf("pending = %d, want 9", ch.Pending())
+	}
+}
+
+func TestCatchUpCompletesElapsedWrites(t *testing.T) {
+	ch := NewChannel()
+	var completions []int64
+	for i := 0; i < 3; i++ {
+		ch.Post(Item{Ready: 0, Dur: 1000, Done: func(at int64) {
+			completions = append(completions, at)
+		}})
+	}
+	// By t=3500 all three writes have retired (1000, 2000, 3000).
+	ch.CatchUp(3500)
+	if len(completions) != 3 {
+		t.Fatalf("completions = %v, want 3 entries", completions)
+	}
+	want := []int64{1000, 2000, 3000}
+	for i, w := range want {
+		if completions[i] != w {
+			t.Errorf("completion[%d] = %d, want %d", i, completions[i], w)
+		}
+	}
+}
+
+func TestWritesRespectReadyTime(t *testing.T) {
+	ch := NewChannel()
+	ch.Post(Item{Ready: 5000, Dur: 2000})
+	// A read at t=100 must not wait: the write is not ready yet.
+	if done := ch.Read(100, 600); done != 700 {
+		t.Fatalf("read done = %d, want 700 (write not ready)", done)
+	}
+	// A read at t=6000: write started at 5000, in flight until 7000.
+	if done := ch.Read(6000, 600); done != 7600 {
+		t.Fatalf("read done = %d, want 7600", done)
+	}
+}
+
+func TestForceNext(t *testing.T) {
+	ch := NewChannel()
+	var at int64
+	ch.Post(Item{Ready: 0, Dur: 2000, Done: func(a int64) { at = a }})
+	if done := ch.ForceNext(); done != 2000 || at != 2000 {
+		t.Fatalf("ForceNext = %d (cb %d), want 2000", done, at)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ForceNext on empty backlog must panic")
+		}
+	}()
+	ch.ForceNext()
+}
+
+func TestDrainAll(t *testing.T) {
+	ch := NewChannel()
+	for i := 0; i < 4; i++ {
+		ch.Post(Item{Ready: 0, Dur: 500})
+	}
+	if idle := ch.DrainAll(); idle != 2000 {
+		t.Fatalf("DrainAll = %d, want 2000", idle)
+	}
+	if ch.Pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", ch.Pending())
+	}
+}
+
+func TestBusyCyclesAccumulate(t *testing.T) {
+	ch := NewChannel()
+	ch.Read(0, 600)
+	ch.Post(Item{Ready: 0, Dur: 2000})
+	ch.DrainAll()
+	if ch.BusyCycles != 2600 {
+		t.Fatalf("BusyCycles = %d, want 2600", ch.BusyCycles)
+	}
+}
+
+func TestBacklogCompaction(t *testing.T) {
+	ch := NewChannel()
+	// Push and drain enough items to trigger the internal compaction.
+	for i := 0; i < 5000; i++ {
+		ch.Post(Item{Ready: 0, Dur: 1})
+		if i%2 == 0 {
+			ch.ForceNext()
+		}
+	}
+	ch.DrainAll()
+	if ch.BusyCycles != 5000 {
+		t.Fatalf("BusyCycles = %d, want 5000", ch.BusyCycles)
+	}
+}
+
+func TestZeroDurationPanics(t *testing.T) {
+	ch := NewChannel()
+	for _, f := range []func(){
+		func() { ch.Post(Item{Ready: 0, Dur: 0}) },
+		func() { ch.Read(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("zero-duration op must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the channel never travels back in time — completion cycles
+// returned by any mix of reads and forced writes are non-decreasing.
+func TestChannelMonotoneProperty(t *testing.T) {
+	f := func(ops []bool, durs []uint16) bool {
+		ch := NewChannel()
+		var last int64
+		var now int64
+		for i, isRead := range ops {
+			d := int64(1)
+			if i < len(durs) {
+				d += int64(durs[i] % 3000)
+			}
+			var done int64
+			if isRead {
+				done = ch.Read(now, d)
+				now = done
+			} else {
+				ch.Post(Item{Ready: now, Dur: d})
+				done = ch.ForceNext()
+			}
+			if done < last {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total busy cycles equal the sum of all op durations, no
+// matter the interleaving.
+func TestBusyCyclesConservationProperty(t *testing.T) {
+	f := func(ops []bool, durs []uint16) bool {
+		ch := NewChannel()
+		var want int64
+		var now int64
+		for i, isRead := range ops {
+			d := int64(1)
+			if i < len(durs) {
+				d += int64(durs[i] % 3000)
+			}
+			want += d
+			if isRead {
+				now = ch.Read(now, d)
+			} else {
+				ch.Post(Item{Ready: now, Dur: d})
+			}
+		}
+		ch.DrainAll()
+		return ch.BusyCycles == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package workload
+
+// cTree is a persistent crit-bit (radix) tree, WHISPER's ctree: internal
+// nodes hold a critical-bit index and two children; leaves hold a key
+// and a value pointer. Inserts walk bit-by-bit from the root —
+// pointer-chasing loads with little spatial locality — then splice in
+// one internal node and one leaf, making ctree the read-heaviest of the
+// database workloads.
+type cTree struct {
+	h      *heap
+	r      *rng
+	txSize int
+	log    *undoLog
+
+	root      *cnode
+	size      int
+	keys      keyPicker
+	setupKeys int
+	setup     bool
+}
+
+const cNodeBytes = 64
+
+type cnode struct {
+	addr    int64
+	leaf    bool
+	bit     uint // critical bit index (internal nodes)
+	key     uint64
+	valAddr int64
+	child   [2]*cnode
+}
+
+func newCTree(h *heap, r *rng, p Params) *cTree {
+	t := &cTree{h: h, r: r, txSize: p.TxSize, setupKeys: p.SetupKeys, keys: newKeyPicker(r, p.SetupKeys)}
+	t.log = newUndoLog(h, 64<<10)
+	return t
+}
+
+func (t *cTree) Name() string     { return "ctree" }
+func (t *cTree) Footprint() int64 { return t.h.footprint() }
+
+// Setup bulk-loads the population without undo logging.
+func (t *cTree) Setup(s Sink) {
+	t.setup = true
+	for i := 0; i < t.setupKeys; i++ {
+		t.put(s, t.keys.setupKey(i))
+	}
+	t.setup = false
+}
+
+func (t *cTree) Tx(s Sink) {
+	t.put(s, t.keys.pick())
+}
+
+func bitOf(key uint64, bit uint) int { return int(key >> (63 - bit) & 1) }
+
+func (t *cTree) put(s Sink, key uint64) {
+	if t.root == nil {
+		leaf := &cnode{addr: t.h.alloc(cNodeBytes), leaf: true, key: key, valAddr: t.h.alloc(int64(t.txSize))}
+		writePayload(s, leaf.valAddr, int64(t.txSize))
+		writePayload(s, leaf.addr, cNodeBytes)
+		s.Fence()
+		if !t.setup {
+			t.log.commit(s)
+		}
+		t.root = leaf
+		t.size++
+		return
+	}
+
+	// Walk to the best-matching leaf.
+	n := t.root
+	for !n.leaf {
+		s.Load(n.addr, cNodeBytes)
+		n = n.child[bitOf(key, n.bit)]
+	}
+	s.Load(n.addr, cNodeBytes)
+
+	if n.key == key {
+		// Update in place.
+		if !t.setup {
+			t.log.logOld(s, int64(t.txSize))
+			s.Fence()
+		}
+		writePayload(s, n.valAddr, int64(t.txSize))
+		s.Fence()
+		if !t.setup {
+			t.log.commit(s)
+		}
+		return
+	}
+
+	// Find the critical bit between key and the existing leaf key.
+	diff := key ^ n.key
+	var crit uint
+	for crit = 0; crit < 64; crit++ {
+		if diff>>(63-crit)&1 == 1 {
+			break
+		}
+	}
+
+	leaf := &cnode{addr: t.h.alloc(cNodeBytes), leaf: true, key: key, valAddr: t.h.alloc(int64(t.txSize))}
+	inner := &cnode{addr: t.h.alloc(cNodeBytes), bit: crit}
+	t.size++
+
+	// Re-walk from the root to the splice point (the first node whose
+	// critical bit is deeper than crit).
+	var parent *cnode
+	cur := t.root
+	for !cur.leaf && cur.bit < crit {
+		s.Load(cur.addr, cNodeBytes)
+		parent = cur
+		cur = cur.child[bitOf(key, cur.bit)]
+	}
+	inner.child[bitOf(key, crit)] = leaf
+	inner.child[1-bitOf(key, crit)] = cur
+
+	writePayload(s, leaf.valAddr, int64(t.txSize))
+	writePayload(s, leaf.addr, cNodeBytes)
+	writePayload(s, inner.addr, cNodeBytes)
+	if parent == nil {
+		t.root = inner
+	} else {
+		parent.child[bitOf(key, parent.bit)] = inner
+		if !t.setup {
+			t.log.logOld(s, cNodeBytes)
+		}
+		s.Store(parent.addr, cNodeBytes)
+		s.Persist(parent.addr, cNodeBytes)
+	}
+	s.Fence()
+	if !t.setup {
+		t.log.commit(s)
+	}
+}
+
+// Get reports presence (functional check).
+func (t *cTree) Get(key uint64) bool {
+	n := t.root
+	for n != nil && !n.leaf {
+		n = n.child[bitOf(key, n.bit)]
+	}
+	return n != nil && n.key == key
+}
+
+// checkStructure verifies crit-bit ordering: children of a node must
+// have strictly deeper critical bits, and every leaf must be reachable
+// consistently with its key's bits.
+func (t *cTree) checkStructure() bool {
+	var walk func(n *cnode) bool
+	walk = func(n *cnode) bool {
+		if n == nil || n.leaf {
+			return n != nil
+		}
+		for side, ch := range n.child {
+			if ch == nil {
+				return false
+			}
+			if !ch.leaf && ch.bit <= n.bit {
+				return false
+			}
+			if ch.leaf && bitOf(ch.key, n.bit) != side {
+				return false
+			}
+			if !walk(ch) {
+				return false
+			}
+		}
+		return true
+	}
+	if t.root == nil {
+		return true
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,269 @@
+package workload
+
+// rbTree is a WHISPER-style persistent red-black tree. It is a full
+// implementation — colors, rotations, fix-up — with each node holding a
+// 64B header in the persistent heap plus a txSize value. Rotations make
+// rbtree the most write-scattered of the database workloads: a single
+// insert can dirty the headers of several nodes spread across the heap,
+// which is exactly why its metadata partial updates coalesce poorly
+// compared to btree's node-local bursts.
+type rbTree struct {
+	h      *heap
+	r      *rng
+	txSize int
+	log    *undoLog
+
+	root      *rbnode
+	size      int
+	keys      keyPicker
+	setupKeys int
+	setup     bool
+}
+
+const (
+	rbNodeBytes = 64
+	red, black  = true, false
+)
+
+type rbnode struct {
+	addr                int64
+	valAddr             int64
+	key                 uint64
+	color               bool
+	left, right, parent *rbnode
+}
+
+func newRBTree(h *heap, r *rng, p Params) *rbTree {
+	t := &rbTree{h: h, r: r, txSize: p.TxSize, setupKeys: p.SetupKeys, keys: newKeyPicker(r, p.SetupKeys)}
+	t.log = newUndoLog(h, 64<<10)
+	return t
+}
+
+func (t *rbTree) Name() string     { return "rbtree" }
+func (t *rbTree) Footprint() int64 { return t.h.footprint() }
+
+// Setup bulk-loads the population without undo logging.
+func (t *rbTree) Setup(s Sink) {
+	t.setup = true
+	for i := 0; i < t.setupKeys; i++ {
+		t.put(s, t.keys.setupKey(i))
+	}
+	t.setup = false
+}
+
+func (t *rbTree) Tx(s Sink) {
+	t.put(s, t.keys.pick())
+}
+
+// touch logs and rewrites a node header (the unit of in-place mutation).
+func (t *rbTree) touch(s Sink, n *rbnode) {
+	if !t.setup {
+		t.log.logOld(s, rbNodeBytes)
+	}
+	s.Store(n.addr, rbNodeBytes)
+	s.Persist(n.addr, rbNodeBytes)
+}
+
+func (t *rbTree) put(s Sink, key uint64) {
+	// Search, loading node headers along the path.
+	var parent *rbnode
+	cur := t.root
+	for cur != nil {
+		s.Load(cur.addr, rbNodeBytes)
+		if key == cur.key {
+			// Update value in place.
+			if !t.setup {
+				t.log.logOld(s, int64(t.txSize))
+				s.Fence()
+			}
+			writePayload(s, cur.valAddr, int64(t.txSize))
+			s.Fence()
+			if !t.setup {
+				t.log.commit(s)
+			}
+			return
+		}
+		parent = cur
+		if key < cur.key {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+
+	n := &rbnode{
+		addr:    t.h.alloc(rbNodeBytes),
+		valAddr: t.h.alloc(int64(t.txSize)),
+		key:     key,
+		color:   red,
+		parent:  parent,
+	}
+	t.size++
+	writePayload(s, n.valAddr, int64(t.txSize))
+	writePayload(s, n.addr, rbNodeBytes)
+	if parent == nil {
+		t.root = n
+	} else {
+		if key < parent.key {
+			parent.left = n
+		} else {
+			parent.right = n
+		}
+		t.touch(s, parent)
+	}
+	t.fixInsert(s, n)
+	s.Fence()
+	if !t.setup {
+		t.log.commit(s)
+	}
+}
+
+func (t *rbTree) rotateLeft(s Sink, x *rbnode) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+		t.touch(s, y.left)
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+		t.touch(s, x.parent)
+	default:
+		x.parent.right = y
+		t.touch(s, x.parent)
+	}
+	y.left = x
+	x.parent = y
+	t.touch(s, x)
+	t.touch(s, y)
+}
+
+func (t *rbTree) rotateRight(s Sink, x *rbnode) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+		t.touch(s, y.right)
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+		t.touch(s, x.parent)
+	default:
+		x.parent.left = y
+		t.touch(s, x.parent)
+	}
+	y.right = x
+	x.parent = y
+	t.touch(s, x)
+	t.touch(s, y)
+}
+
+func (t *rbTree) fixInsert(s Sink, z *rbnode) {
+	for z.parent != nil && z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				t.touch(s, z.parent)
+				t.touch(s, uncle)
+				t.touch(s, gp)
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(s, z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.touch(s, z.parent)
+			t.touch(s, gp)
+			t.rotateRight(s, gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				t.touch(s, z.parent)
+				t.touch(s, uncle)
+				t.touch(s, gp)
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(s, z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.touch(s, z.parent)
+			t.touch(s, gp)
+			t.rotateLeft(s, gp)
+		}
+	}
+	if t.root.color != black {
+		t.root.color = black
+		t.touch(s, t.root)
+	}
+}
+
+// Get reports presence (functional check).
+func (t *rbTree) Get(key uint64) bool {
+	cur := t.root
+	for cur != nil {
+		if key == cur.key {
+			return true
+		}
+		if key < cur.key {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	return false
+}
+
+// checkRB validates the red-black invariants: root black, no red-red
+// edges, equal black height on all paths. It returns the black height
+// or -1 on violation.
+func (t *rbTree) checkRB() int {
+	var walk func(n *rbnode) int
+	walk = func(n *rbnode) int {
+		if n == nil {
+			return 1
+		}
+		if n.color == red {
+			if (n.left != nil && n.left.color == red) || (n.right != nil && n.right.color == red) {
+				return -1
+			}
+		}
+		l := walk(n.left)
+		r := walk(n.right)
+		if l == -1 || r == -1 || l != r {
+			return -1
+		}
+		if n.color == black {
+			return l + 1
+		}
+		return l
+	}
+	if t.root == nil {
+		return 1
+	}
+	if t.root.color != black {
+		return -1
+	}
+	return walk(t.root)
+}

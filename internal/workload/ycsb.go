@@ -1,0 +1,79 @@
+package workload
+
+// ycsb is a YCSB-A-style key-value workload (WHISPER ships YCSB among
+// its persistent benchmarks): a fixed table of records, each transaction
+// either reads a record or updates it under undo logging, with the
+// standard 50/50 read/update mix. It is the read-heaviest workload in
+// the suite and exercises the verified read path (counter fetch, OTP,
+// MAC check) much harder than the insert-driven database benchmarks.
+type ycsb struct {
+	h      *heap
+	r      *rng
+	txSize int
+	log    *undoLog
+
+	tableBase int64
+	records   int
+	keys      keyPicker
+	setup     bool
+
+	reads, updates int
+}
+
+// ycsbReadPercent is the YCSB-A mix.
+const ycsbReadPercent = 50
+
+func newYCSB(h *heap, r *rng, p Params) *ycsb {
+	w := &ycsb{h: h, r: r, txSize: p.TxSize, records: p.SetupKeys, keys: newKeyPicker(r, p.SetupKeys)}
+	w.log = newUndoLog(h, 64<<10)
+	w.tableBase = h.alloc(int64(w.records) * w.recordBytes())
+	return w
+}
+
+// recordBytes is the slot size: a 64B header plus the payload.
+func (w *ycsb) recordBytes() int64 { return 64 + (int64(w.txSize)+63)&^63 }
+
+func (w *ycsb) Name() string     { return "ycsb" }
+func (w *ycsb) Footprint() int64 { return w.h.footprint() }
+
+func (w *ycsb) recordAddr(key uint64) int64 {
+	x := key * 0x9E3779B97F4A7C15 >> 16
+	return w.tableBase + int64(x%uint64(w.records))*w.recordBytes()
+}
+
+// Setup streams the whole table once (bulk load, no logging).
+func (w *ycsb) Setup(s Sink) {
+	w.setup = true
+	for i := 0; i < w.records; i++ {
+		addr := w.tableBase + int64(i)*w.recordBytes()
+		s.Store(addr, w.recordBytes())
+		s.Persist(addr, w.recordBytes())
+		if i%64 == 63 {
+			s.Fence()
+		}
+	}
+	s.Fence()
+	w.setup = false
+}
+
+func (w *ycsb) Tx(s Sink) {
+	key := w.keys.pick()
+	addr := w.recordAddr(key)
+	if w.r.intn(100) < ycsbReadPercent {
+		// Read: header + payload.
+		s.Load(addr, w.recordBytes())
+		w.reads++
+		return
+	}
+	// Update: log old payload, rewrite it, commit.
+	s.Load(addr, 64) // header check
+	w.log.logOld(s, int64(w.txSize))
+	s.Fence()
+	writePayload(s, addr+64, int64(w.txSize))
+	s.Fence()
+	w.log.commit(s)
+	w.updates++
+}
+
+// Mix returns the observed read/update counts (functional check).
+func (w *ycsb) Mix() (reads, updates int) { return w.reads, w.updates }

@@ -1,0 +1,334 @@
+// Package thoth is a library implementation of Thoth (HPCA 2023):
+// crash-consistent secure non-volatile memory for emerging memory
+// interfaces that expose no host-visible ECC bits.
+//
+// The package wraps a full secure-memory-controller model: AES-CTR
+// memory encryption with split counters, Bonsai-Merkle-Tree integrity
+// with an eagerly maintained on-chip root, write-back metadata caches,
+// an ADR-backed write-pending queue — and Thoth's contribution, the
+// persistent combining buffer (PCB) plus the off-chip partial updates
+// buffer (PUB) with the WTSC/WTBC eviction policies. Every write is
+// applied byte-accurately to a modeled NVM device, so crash injection,
+// recovery, and tamper detection behave like the real system, while a
+// deterministic timing model accounts cycles for the paper's
+// performance experiments.
+//
+// # Quick start
+//
+//	sys, err := thoth.New(thoth.DefaultConfig())
+//	...
+//	sys.Write(0, data)           // persistent, encrypted, integrity-protected
+//	img := sys.Crash()           // power failure: volatile state is gone
+//	rep, err := thoth.Recover(sys.Config(), img)
+//	sys2, err := thoth.Open(sys.Config(), img)
+//	plain, err := sys2.Read(0)
+//
+// For the paper's evaluation, use RunWorkload (single configuration) or
+// NewExperiments (every figure and table); see cmd/experiments.
+package thoth
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/layout"
+	"repro/internal/nvm"
+	"repro/internal/recovery"
+	"repro/internal/stats"
+)
+
+// Config is the machine configuration (Table I parameters plus sweep
+// knobs). Construct with DefaultConfig and adjust.
+type Config = config.Config
+
+// Scheme selects the persistence engine.
+type Scheme = config.Scheme
+
+// The available persistence schemes.
+const (
+	// BaselineStrict is the paper's baseline: Anubis adapted to future
+	// interfaces, strictly persisting counter and MAC blocks per write.
+	BaselineStrict = config.BaselineStrict
+	// WTSC is Thoth with the status-check eviction policy (the paper's
+	// adopted design).
+	WTSC = config.ThothWTSC
+	// WTBC is Thoth with the precise bitmask-check eviction policy.
+	WTBC = config.ThothWTBC
+	// AnubisECC is the hypothetical ECC-co-location ideal of Section V-F.
+	AnubisECC = config.AnubisECC
+)
+
+// DefaultConfig returns the paper's Table I configuration with the WTSC
+// scheme, 128-byte cache blocks and a 64MB PUB.
+func DefaultConfig() Config { return config.Default() }
+
+// Device is the byte-accurate NVM module image. It survives crashes and
+// can be carried across System instances.
+type Device = nvm.Device
+
+// RecoveryReport summarizes a recovery run (Section IV-D).
+type RecoveryReport = recovery.Report
+
+// ErrRootMismatch is returned by Recover when the rebuilt integrity-tree
+// root does not match the persisted root (tampering or corruption).
+var ErrRootMismatch = recovery.ErrRootMismatch
+
+// Stats is the run-statistics block (write categories, PUB eviction
+// outcomes, cache hit rates, stall cycles).
+type Stats = stats.Stats
+
+// System is a secure NVM system: the processor-side controller plus the
+// device. Addresses passed to Read/Write are offsets into the protected
+// data region, starting at zero. A System is not safe for concurrent
+// use.
+type System struct {
+	cfg     config.Config
+	ctl     *core.Controller
+	now     int64
+	crashed bool
+}
+
+// New creates a system with a fresh (zeroed) device.
+func New(cfg Config) (*System, error) {
+	ctl, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, ctl: ctl}, nil
+}
+
+// Open attaches a system to an existing device image — one left by
+// Shutdown, or by Crash followed by a successful Recover. The
+// configuration must match the image (block size, seed, geometry).
+func Open(cfg Config, dev *Device) (*System, error) {
+	ctl, err := core.Attach(cfg, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, ctl: ctl}, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// DataSize returns the usable protected data region in bytes.
+func (s *System) DataSize() int64 { return s.ctl.Layout().DataBytes }
+
+// BlockSize returns the access granularity in bytes.
+func (s *System) BlockSize() int { return s.cfg.BlockSize }
+
+// checkRange validates a data-region access.
+func (s *System) checkRange(addr int64, n int) error {
+	switch {
+	case s.crashed:
+		return errors.New("thoth: system has crashed; recover the device and Open a new system")
+	case addr < 0 || n < 0 || addr+int64(n) > s.DataSize():
+		return fmt.Errorf("thoth: range [%d,+%d) outside data region of %d bytes", addr, n, s.DataSize())
+	}
+	return nil
+}
+
+// Write persists data at the given offset. The write is encrypted,
+// MACed, bound into the integrity tree, and made crash-consistent per
+// the configured scheme. Unaligned or partial-block writes perform
+// read-modify-write on the affected blocks.
+func (s *System) Write(addr int64, data []byte) error {
+	if err := s.checkRange(addr, len(data)); err != nil {
+		return err
+	}
+	bs := int64(s.cfg.BlockSize)
+	base := s.ctl.Layout().DataBase
+	for off := int64(0); off < int64(len(data)); {
+		blk := (addr + off) / bs * bs
+		lo := (addr + off) - blk
+		n := bs - lo
+		if rem := int64(len(data)) - off; n > rem {
+			n = rem
+		}
+		var block []byte
+		if lo == 0 && n == bs {
+			block = data[off : off+n]
+		} else {
+			// Read-modify-write for partial blocks.
+			done, cur := s.ctl.ReadBlockAllowEmpty(s.now, base+blk)
+			s.now = done
+			copy(cur[lo:lo+n], data[off:off+n])
+			block = cur
+		}
+		s.now = s.ctl.PersistBlock(s.now, base+blk, block)
+		off += n
+	}
+	return nil
+}
+
+// Read returns n bytes from the given offset, decrypting and verifying
+// every covered block.
+func (s *System) Read(addr int64, n int) ([]byte, error) {
+	if err := s.checkRange(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	bs := int64(s.cfg.BlockSize)
+	base := s.ctl.Layout().DataBase
+	for off := int64(0); off < int64(n); {
+		blk := (addr + off) / bs * bs
+		lo := (addr + off) - blk
+		take := bs - lo
+		if rem := int64(n) - off; take > rem {
+			take = rem
+		}
+		done, block := s.ctl.ReadBlockAllowEmpty(s.now, base+blk)
+		s.now = done
+		copy(out[off:off+take], block[lo:lo+take])
+		off += take
+	}
+	return out, nil
+}
+
+// Crash models a power failure: only the ADR domain survives (WPQ, PCB
+// partials flushed to the PUB, the PUB bounds, the on-chip root). It
+// returns the device image; the System itself is dead afterwards.
+func (s *System) Crash() *Device {
+	s.ctl.Crash(s.now)
+	s.crashed = true
+	return s.ctl.Device()
+}
+
+// Shutdown performs a clean power-down: all dirty metadata is persisted
+// in place and the image needs no recovery. Returns the device image.
+func (s *System) Shutdown() *Device {
+	s.now = s.ctl.Shutdown(s.now)
+	s.crashed = true
+	return s.ctl.Device()
+}
+
+// Device returns the live device image (for inspection; tampering with
+// it models an attacker).
+func (s *System) Device() *Device { return s.ctl.Device() }
+
+// Root returns the current on-chip integrity-tree root.
+func (s *System) Root() uint64 { return s.ctl.Root() }
+
+// VerifyCrashConsistency checks, without perturbing the system, that a
+// crash at this instant would be recoverable: every security-metadata
+// update not yet persisted in place is covered by a live partial update
+// in the ADR domain (PCB or PUB). It returns a descriptive error on the
+// first violation found.
+func (s *System) VerifyCrashConsistency() error {
+	if s.crashed {
+		return errors.New("thoth: system has crashed")
+	}
+	return s.ctl.VerifyCrashConsistency()
+}
+
+// Elapsed returns the modeled execution time in core cycles.
+func (s *System) Elapsed() int64 { return s.now }
+
+// ElapsedSeconds converts Elapsed to seconds at the configured clock.
+func (s *System) ElapsedSeconds() float64 {
+	return float64(s.now) / (s.cfg.CPUFreqGHz * 1e9)
+}
+
+// Stats returns the controller statistics (shared, live).
+func (s *System) Stats() *Stats {
+	s.ctl.SyncStats()
+	return s.ctl.Stats()
+}
+
+// SaveImage serializes a device image to w (crash images survive
+// process restarts; pair with LoadImage).
+func SaveImage(dev *Device, w io.Writer) error { return dev.Save(w) }
+
+// LoadImage reconstructs a device image written by SaveImage.
+func LoadImage(r io.Reader) (*Device, error) { return nvm.LoadImage(r) }
+
+// Recover restores a crashed device image in place (merging the PUB's
+// partial updates into their home metadata blocks) and verifies the
+// integrity-tree root. Returns ErrRootMismatch on tampering.
+func Recover(cfg Config, dev *Device) (*RecoveryReport, error) {
+	return recovery.Recover(cfg, dev)
+}
+
+// EstimateRecoverySeconds models the added recovery time for a PUB of
+// the configured size (Section IV-D; ~7s for the default 64MB PUB).
+func EstimateRecoverySeconds(cfg Config) float64 {
+	return recovery.EstimateSeconds(cfg, cfg.PUBBlocks())
+}
+
+// Regions describes the NVM address map of a configuration: where the
+// protected data, counter blocks, MAC blocks, integrity-tree levels,
+// the PUB ring and the ADR control block live. Tests and attack models
+// use it to target specific persisted structures.
+type Regions struct {
+	DataBase, DataBytes int64
+	CtrBase, CtrBytes   int64
+	MACBase, MACBytes   int64
+	TreeBase, TreeBytes int64
+	PUBBase, PUBBytes   int64
+	CtlBase, CtlBytes   int64
+}
+
+// RegionsOf computes the address map for a configuration.
+func RegionsOf(cfg Config) (Regions, error) {
+	lay, err := layout.New(cfg)
+	if err != nil {
+		return Regions{}, err
+	}
+	return Regions{
+		DataBase: lay.DataBase, DataBytes: lay.DataBytes,
+		CtrBase: lay.CtrBase, CtrBytes: lay.CtrBytes,
+		MACBase: lay.MACBase, MACBytes: lay.MACBytes,
+		TreeBase: lay.TreeBase[0], TreeBytes: lay.PUBBase - lay.TreeBase[0],
+		PUBBase: lay.PUBBase, PUBBytes: lay.PUBBytes,
+		CtlBase: lay.CtlBase, CtlBytes: lay.CtlBytes,
+	}, nil
+}
+
+// RunConfig describes one benchmark simulation (see cmd/thothsim).
+type RunConfig = harness.RunConfig
+
+// RunResult is the outcome of a benchmark simulation.
+type RunResult = harness.Result
+
+// RunWorkload runs one benchmark (btree, ctree, hashmap, rbtree, swap)
+// against one configuration and returns its measurements.
+func RunWorkload(rc RunConfig) (*RunResult, error) { return harness.Run(rc) }
+
+// ReplayResult summarizes a trace replay.
+type ReplayResult = harness.ReplayResult
+
+// Replay drives the secure memory controller from a textual memory
+// trace (the cmd/tracegen format: L/S/P ops with addresses and sizes,
+// F for fences, # comments). Externally captured traces run against
+// any configured scheme with the same LLC filter and persistence
+// semantics as the built-in benchmarks.
+func Replay(cfg Config, r io.Reader) (*ReplayResult, error) {
+	return harness.Replay(cfg, r)
+}
+
+// WorkloadNames lists the available benchmarks.
+func WorkloadNames() []string {
+	return []string{"btree", "ctree", "hashmap", "rbtree", "swap"}
+}
+
+// Experiments drives the paper's full evaluation (figures 3, 8-12,
+// tables II/III, the Section V-F comparison, and crash recovery).
+type Experiments = harness.Experiments
+
+// ExperimentScale sets simulation magnitude for the experiment suite.
+type ExperimentScale = harness.Scale
+
+// DefaultScale is the standard experiment scale (seconds per run).
+func DefaultScale() ExperimentScale { return harness.DefaultScale() }
+
+// QuickScale is an order of magnitude smaller, for smoke testing.
+func QuickScale() ExperimentScale { return harness.QuickScale() }
+
+// NewExperiments builds an experiment driver writing its report to w.
+func NewExperiments(sc ExperimentScale, w io.Writer) *Experiments {
+	return harness.NewExperiments(sc, w)
+}
