@@ -1,0 +1,36 @@
+# Tier-1+ gate for the thoth reproduction. `make ci` is what a change
+# must pass before merging; individual targets exist for quick local
+# loops.
+
+GO ?= go
+SWEEP_SEEDS ?= 200
+FUZZTIME ?= 10s
+
+.PHONY: ci vet build test race crashfuzz fuzz-smoke sweep-1000
+
+ci: vet build test race crashfuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Randomized crash-injection sweep (deterministic per seed; failures
+# print `crashfuzz.Replay(seed)` for one-line reproduction).
+crashfuzz:
+	$(GO) run ./cmd/crashfuzz -seeds $(SWEEP_SEEDS)
+
+# Short coverage-guided fuzz session over the checked-in corpus.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzCrashRecovery -fuzztime=$(FUZZTIME) ./internal/crashfuzz
+
+# The acceptance-criteria sweep (slower; not part of `ci`).
+sweep-1000:
+	$(GO) run ./cmd/crashfuzz -seeds 1000

@@ -174,7 +174,9 @@ func BenchmarkRecovery_Time(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg(config.ThothWTSC, sc)
 		res := benchRun(b, cfg, "btree", sc)
-		res.Runner.Controller().Crash(res.Runner.Now())
+		if err := res.Runner.Controller().Crash(res.Runner.Now()); err != nil {
+			b.Fatal(err)
+		}
 		if _, err := recovery.Recover(cfg, res.Controller.Device()); err != nil {
 			b.Fatal(err)
 		}

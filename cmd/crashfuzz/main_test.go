@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSweep(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-seeds", "25", "-start", "100", "-workers", "4"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "25 cases, 0 violations") {
+		t.Errorf("sweep summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunReplay(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-replay", "42"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "seed=42") || !strings.Contains(out.String(), ": ok") {
+		t.Errorf("replay report missing:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -21,14 +22,18 @@ import (
 	"repro/internal/harness"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to run: 3|8|9|10|11|12|table2|table3|vf|recovery|all")
-	quick := flag.Bool("quick", false, "smoke-test scale (10x smaller, not paper-representative)")
-	txs := flag.Int("txs", 0, "override measured transactions per run")
-	warmup := flag.Int("warmup", 0, "override warm-up transactions per run")
-	setup := flag.Int("setup", 0, "override benchmark population size")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation runs")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: 3|8|9|10|11|12|table2|table3|vf|recovery|all")
+	quick := fs.Bool("quick", false, "smoke-test scale (10x smaller, not paper-representative)")
+	txs := fs.Int("txs", 0, "override measured transactions per run")
+	warmup := fs.Int("warmup", 0, "override warm-up transactions per run")
+	setup := fs.Int("setup", 0, "override benchmark population size")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation runs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	scale := harness.DefaultScale()
 	if *quick {
@@ -44,15 +49,18 @@ func main() {
 		scale.SetupKeys = *setup
 	}
 
-	e := harness.NewExperiments(scale, os.Stdout)
+	e := harness.NewExperiments(scale, stdout)
 	e.Workers = *workers
 
-	fmt.Printf("Thoth evaluation — scale: warmup=%d measure=%d setup=%d PUB=%dKiB workers=%d\n",
+	fmt.Fprintf(stdout, "Thoth evaluation — scale: warmup=%d measure=%d setup=%d PUB=%dKiB workers=%d\n",
 		scale.WarmupTxs, scale.MeasureTxs, scale.SetupKeys, scale.PUBBytes>>10, e.Workers)
 	start := time.Now()
 	if err := e.ByName(*exp); err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 1
 	}
-	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunRecoveryExperiment runs the cheapest experiment end to end at a
+// tiny scale: flag parsing, the shared run cache, and report output.
+func TestRunRecoveryExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-exp", "recovery", "-quick", "-txs", "30", "-warmup", "5", "-setup", "64",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "completed in") {
+		t.Errorf("missing completion line:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-exp", "nonsense"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnosis: %s", errw.String())
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

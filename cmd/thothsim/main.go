@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -36,28 +37,32 @@ func parseScheme(s string) (config.Scheme, error) {
 	}
 }
 
-func main() {
-	wl := flag.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
-	schemeStr := flag.String("scheme", "thoth-wtsc", "persistence scheme")
-	block := flag.Int("block", 128, "cache block size in bytes (64|128|256)")
-	tx := flag.Int("tx", 128, "transaction size in bytes")
-	txs := flag.Int("txs", 6000, "measured transactions")
-	warmup := flag.Int("warmup", 1200, "warm-up transactions")
-	setup := flag.Int("setup", 16384, "benchmark population")
-	pubKiB := flag.Int64("pub", 1024, "PUB size in KiB (paper default 65536)")
-	ctrKiB := flag.Int("ctr-cache", 64, "counter cache KiB")
-	macKiB := flag.Int("mac-cache", 128, "MAC cache KiB")
-	wpqEntries := flag.Int("wpq", 64, "WPQ entries (PCB takes 1/8 under Thoth)")
-	crash := flag.Bool("crash", false, "crash after the run and recover the image")
-	verify := flag.Bool("verify", false, "verify all persisted data after the run")
-	shadow := flag.Bool("shadow", false, "enable Anubis shadow-table tracking (fast recovery)")
-	eadr := flag.Bool("eadr", false, "enhanced ADR: persistent cache hierarchy (extension)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("thothsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
+	schemeStr := fs.String("scheme", "thoth-wtsc", "persistence scheme")
+	block := fs.Int("block", 128, "cache block size in bytes (64|128|256)")
+	tx := fs.Int("tx", 128, "transaction size in bytes")
+	txs := fs.Int("txs", 6000, "measured transactions")
+	warmup := fs.Int("warmup", 1200, "warm-up transactions")
+	setup := fs.Int("setup", 16384, "benchmark population")
+	pubKiB := fs.Int64("pub", 1024, "PUB size in KiB (paper default 65536)")
+	ctrKiB := fs.Int("ctr-cache", 64, "counter cache KiB")
+	macKiB := fs.Int("mac-cache", 128, "MAC cache KiB")
+	wpqEntries := fs.Int("wpq", 64, "WPQ entries (PCB takes 1/8 under Thoth)")
+	crash := fs.Bool("crash", false, "crash after the run and recover the image")
+	verify := fs.Bool("verify", false, "verify all persisted data after the run")
+	shadow := fs.Bool("shadow", false, "enable Anubis shadow-table tracking (fast recovery)")
+	eadr := fs.Bool("eadr", false, "enhanced ADR: persistent cache hierarchy (extension)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	scheme, err := parseScheme(*schemeStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "thothsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "thothsim:", err)
+		return 1
 	}
 
 	cfg := config.Default().
@@ -81,25 +86,31 @@ func main() {
 		Verify:     *verify,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "thothsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "thothsim:", err)
+		return 1
 	}
 
-	fmt.Printf("workload=%s scheme=%v block=%dB tx=%dB\n", *wl, scheme, *block, *tx)
-	fmt.Printf("cycles=%d (%.3f ms at %.0f GHz) txs=%d\n",
+	fmt.Fprintf(stdout, "workload=%s scheme=%v block=%dB tx=%dB\n", *wl, scheme, *block, *tx)
+	fmt.Fprintf(stdout, "cycles=%d (%.3f ms at %.0f GHz) txs=%d\n",
 		res.Cycles, float64(res.Cycles)/(cfg.CPUFreqGHz*1e6), cfg.CPUFreqGHz, *txs)
-	fmt.Println(res.Stats.String())
+	fmt.Fprintln(stdout, res.Stats.String())
 	if scheme.IsThoth() {
-		fmt.Printf("pcb-merge-rate=%.1f%%\n", 100*res.PCBMergeRate)
+		fmt.Fprintf(stdout, "pcb-merge-rate=%.1f%%\n", 100*res.PCBMergeRate)
 	}
 
 	if *crash {
-		res.Runner.Controller().Crash(res.Runner.Now())
+		if err := res.Runner.Controller().Crash(res.Runner.Now()); err != nil {
+			fmt.Fprintln(stderr, "thothsim: crash flush:", err)
+			return 1
+		}
 		rep, err := recovery.Recover(cfg, res.Controller.Device())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "thothsim: recovery failed:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "thothsim: recovery failed:", err)
+			return 1
 		}
-		fmt.Println(rep)
+		fmt.Fprintln(stdout, rep)
 	}
+	return 0
 }
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

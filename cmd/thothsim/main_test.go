@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The smoke tests run the real CLI entry point end to end at tiny scale:
+// flag parsing, a full simulation, and report formatting.
+
+func TestRunSmoke(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-workload", "swap", "-txs", "30", "-warmup", "5", "-setup", "64", "-pub", "16",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, want := range []string{"workload=swap", "scheme=thoth-wtsc", "cycles=", "pcb-merge-rate="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCrashRecover(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-workload", "hashmap", "-txs", "30", "-warmup", "5", "-setup", "64", "-pub", "16", "-crash",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "recovery:") {
+		t.Errorf("crash run must print a recovery report:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-scheme", "nonsense"}, &out, &errw); code != 1 {
+		t.Fatalf("bad scheme: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "unknown scheme") {
+		t.Errorf("stderr missing diagnosis: %s", errw.String())
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for in, wantErr := range map[string]bool{
+		"baseline": false, "thoth-wtsc": false, "WTBC": false, "ideal": false, "bogus": true,
+	} {
+		if _, err := parseScheme(in); (err != nil) != wantErr {
+			t.Errorf("parseScheme(%q) err=%v, wantErr=%v", in, err, wantErr)
+		}
+	}
+}

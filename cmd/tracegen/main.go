@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/workload"
@@ -58,15 +59,19 @@ func (t *traceSink) Fence() {
 	}
 }
 
-func main() {
-	wl := flag.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
-	txs := flag.Int("txs", 10, "transactions to trace")
-	txSize := flag.Int("tx", 128, "transaction size in bytes")
-	setup := flag.Int("setup", 1024, "population size (setup is traced unless -skip-setup)")
-	skipSetup := flag.Bool("skip-setup", true, "suppress the setup phase from the dump")
-	seed := flag.Int64("seed", 1, "workload seed")
-	summary := flag.Bool("summary", false, "print only per-op-type counts")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
+	txs := fs.Int("txs", 10, "transactions to trace")
+	txSize := fs.Int("tx", 128, "transaction size in bytes")
+	setup := fs.Int("setup", 1024, "population size (setup is traced unless -skip-setup)")
+	skipSetup := fs.Bool("skip-setup", true, "suppress the setup phase from the dump")
+	seed := fs.Int64("seed", 1, "workload seed")
+	summary := fs.Bool("summary", false, "print only per-op-type counts")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	w, err := workload.New(*wl, workload.Params{
 		HeapBase:  0,
@@ -76,11 +81,11 @@ func main() {
 		SetupKeys: *setup,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 	s := &traceSink{w: out, touched: make(map[int64]bool)}
 
@@ -101,4 +106,7 @@ func main() {
 		fmt.Fprintf(out, "loadBytes=%d storeBytes=%d touched64B=%d footprint=%d\n",
 			c.LoadBytes, c.StoreBytes, len(s.touched), w.Footprint())
 	}
+	return 0
 }
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

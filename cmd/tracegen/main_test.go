@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSummary(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-workload", "hashmap", "-txs", "3", "-setup", "32", "-summary"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "workload=hashmap txs=3") {
+		t.Errorf("summary line missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "persists=") {
+		t.Errorf("per-op counts missing:\n%s", out.String())
+	}
+}
+
+func TestRunDumpFormat(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-workload", "btree", "-txs", "2", "-setup", "32"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	dump := out.String()
+	if !strings.Contains(dump, "# tx 0") || !strings.Contains(dump, "# tx 1") {
+		t.Errorf("dump missing transaction markers:\n%.400s", dump)
+	}
+	// At least one store and one persist op per transaction of a btree.
+	if !strings.Contains(dump, "S 0x") || !strings.Contains(dump, "P 0x") {
+		t.Errorf("dump missing S/P ops:\n%.400s", dump)
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-workload", "nonsense"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "tracegen:") {
+		t.Errorf("stderr missing diagnosis: %s", errw.String())
+	}
+}

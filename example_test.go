@@ -31,7 +31,10 @@ func Example() {
 		log.Fatal(err)
 	}
 
-	img := sys.Crash() // power failure
+	img, err := sys.Crash() // power failure
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if _, err := thoth.Recover(cfg, img); err != nil {
 		log.Fatal(err)
@@ -60,7 +63,10 @@ func ExampleRecover_tamperDetection() {
 			log.Fatal(err)
 		}
 	}
-	img := sys.Crash()
+	img, err := sys.Crash()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// An attacker rolls a counter block back.
 	regions, err := thoth.RegionsOf(cfg)

@@ -33,7 +33,11 @@ func buildCrashImage() (thoth.Config, *thoth.Device) {
 			log.Fatal(err)
 		}
 	}
-	return cfg, sys.Crash()
+	img, err := sys.Crash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cfg, img
 }
 
 func main() {

@@ -120,7 +120,10 @@ func main() {
 	fmt.Println("stored", len(pairs)+1, "records")
 
 	// Crash mid-life, recover, reopen — the store must be intact.
-	img := sys.Crash()
+	img, err := sys.Crash()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := thoth.Recover(cfg, img); err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,10 @@ func main() {
 
 	// Power failure: caches and in-flight state vanish; only the ADR
 	// domain (WPQ, PCB -> PUB, PUB bounds, root) survives.
-	img := sys.Crash()
+	img, err := sys.Crash()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("power failure injected")
 
 	// Recovery merges the PUB's partial updates into their home counter

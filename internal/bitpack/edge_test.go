@@ -1,0 +1,83 @@
+package bitpack
+
+import "testing"
+
+// TestByteBoundaryWidths drives field widths that straddle the
+// byte-granularity edges — exactly one byte, one bit short, one bit
+// over, and the word-size extremes — at offsets that are themselves
+// aligned, almost-aligned, and deep inside a block. Every combination
+// must round-trip the maximum value for its width and leave the
+// surrounding bits untouched.
+func TestByteBoundaryWidths(t *testing.T) {
+	widths := []int{1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64}
+	offsets := []int{0, 1, 7, 8, 9, 63, 64, 65, 104, 105, 945}
+	for _, w := range widths {
+		for _, off := range offsets {
+			b := make([]byte, 128)
+			for i := range b {
+				b[i] = 0xFF // sentinel: Set must clear exactly the field
+			}
+			max := ^uint64(0)
+			if w < 64 {
+				max = 1<<w - 1
+			}
+			for _, v := range []uint64{0, 1, max / 2, max} {
+				Set(b, off, w, v)
+				if got := Get(b, off, w); got != v {
+					t.Fatalf("width=%d off=%d: wrote %#x read %#x", w, off, v, got)
+				}
+			}
+			Set(b, off, w, 0)
+			// Neighbors on both sides must still carry the sentinel.
+			if off > 0 && Get(b, off-1, 1) != 1 {
+				t.Fatalf("width=%d off=%d: clobbered bit %d below the field", w, off, off-1)
+			}
+			if Get(b, off+w, 1) != 1 {
+				t.Fatalf("width=%d off=%d: clobbered bit %d above the field", w, off, off+w)
+			}
+		}
+	}
+}
+
+// TestPackedEntryGeometry pins the Table I packing arithmetic at the
+// bitpack level: 105-bit records pack 9 into a 128-byte block and 19
+// into a 256-byte block, every record round-trips through its three
+// fields (64+32+9 bits = 105), and the leftover tail bits are never
+// touched.
+func TestPackedEntryGeometry(t *testing.T) {
+	const entryBits = 105
+	for _, tc := range []struct {
+		blockBytes, entries int
+	}{
+		{128, 9},  // 9*105 = 945 of 1024 bits
+		{256, 19}, // 19*105 = 1995 of 2048 bits
+	} {
+		if got := tc.blockBytes * 8 / entryBits; got != tc.entries {
+			t.Fatalf("%dB block fits %d entries, want %d", tc.blockBytes, got, tc.entries)
+		}
+		b := make([]byte, tc.blockBytes)
+		for i := range b {
+			b[i] = 0xFF
+		}
+		for i := 0; i < tc.entries; i++ {
+			base := i * entryBits
+			Set(b, base, 64, uint64(i)*0x0101010101010101)
+			Set(b, base+64, 32, uint64(i)<<16|0xBEEF)
+			Set(b, base+96, 9, uint64(i)%512)
+		}
+		for i := 0; i < tc.entries; i++ {
+			base := i * entryBits
+			if Get(b, base, 64) != uint64(i)*0x0101010101010101 ||
+				Get(b, base+64, 32) != uint64(i)<<16|0xBEEF ||
+				Get(b, base+96, 9) != uint64(i)%512 {
+				t.Fatalf("%dB block: entry %d corrupted by later packing", tc.blockBytes, i)
+			}
+		}
+		// Tail bits past the last whole entry keep the sentinel.
+		for bit := tc.entries * entryBits; bit < tc.blockBytes*8; bit++ {
+			if Get(b, bit, 1) != 1 {
+				t.Fatalf("%dB block: tail bit %d clobbered", tc.blockBytes, bit)
+			}
+		}
+	}
+}

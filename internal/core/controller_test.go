@@ -287,7 +287,9 @@ func TestCrashPersistsRootAndRingBounds(t *testing.T) {
 		now = c.PersistBlock(now, i*4096, blockOf(c, byte(i)))
 	}
 	root := c.Root()
-	c.Crash(now)
+	if err := c.Crash(now); err != nil {
+		t.Fatal(err)
+	}
 	got, err := LoadRoot(c.cfg.BlockSize, c.lay.CtlBase, c.Device().Peek)
 	if err != nil {
 		t.Fatalf("LoadRoot: %v", err)
@@ -308,7 +310,9 @@ func TestShutdownLeavesConsistentImage(t *testing.T) {
 		now = c.PersistBlock(now, addr, data)
 		want[addr] = data
 	}
-	c.Shutdown(now)
+	if _, err := c.Shutdown(now); err != nil {
+		t.Fatal(err)
+	}
 
 	// A fresh controller attached to the image must read everything back
 	// with full verification, no recovery needed.

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/pub"
+)
+
+// TestLoadRootRejectsTruncatedBlock covers the control-region bounds
+// check: a peek that returns fewer than 16 bytes (empty or truncated
+// image) must produce an error, not an index panic.
+func TestLoadRootRejectsTruncatedBlock(t *testing.T) {
+	for _, blk := range [][]byte{nil, {}, make([]byte, 8), make([]byte, 15)} {
+		_, err := LoadRoot(128, 0, func(int64) []byte { return blk })
+		if err == nil {
+			t.Fatalf("LoadRoot with a %d-byte control block must error", len(blk))
+		}
+		if !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("err = %v, want truncation diagnosis", err)
+		}
+	}
+	// Exactly 16 zero bytes is long enough to be inspected: the magic is
+	// absent, which is the separate "no persisted root" error.
+	if _, err := LoadRoot(128, 0, func(int64) []byte { return make([]byte, 16) }); err == nil ||
+		strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want missing-root error", err)
+	}
+}
+
+// fillRing pushes packed dummy blocks until the PUB ring is full,
+// bypassing the eviction machinery to construct the invariant-violation
+// state the ADR flush must survive.
+func fillRing(c *Controller) {
+	per := c.cfg.PartialsPerBlock()
+	blk := pub.PackBlock(c.cfg.BlockSize, pub.FillByDuplication([]pub.Entry{{BlockIndex: 1, Minor: 1}}, per))
+	for !c.ring.Full() {
+		c.ring.Push(blk)
+	}
+}
+
+// TestCrashReportsFullRingInsteadOfPanicking constructs the near-full
+// ring condition by hand: the ring has no headroom left and the PCB still
+// holds unposted entries, so the crash-time flush cannot place them. The
+// controller must report the lost updates as an error — the image is
+// diagnosable — rather than panic.
+func TestCrashReportsFullRingInsteadOfPanicking(t *testing.T) {
+	cfg := testConfig(config.ThothWTSC)
+	c := mustNew(t, cfg)
+	now := c.PersistBlock(0, 0, blockOf(c, 0x5A)) // one live partial in the PCB
+	if len(c.pcb.UnpostedEntries()) == 0 {
+		t.Fatal("test setup: PCB must hold an unposted entry")
+	}
+	fillRing(c)
+	err := c.Crash(now)
+	if err == nil {
+		t.Fatal("crash with a full ring and unposted PCB entries must error")
+	}
+	if !strings.Contains(err.Error(), "PUB ring full") {
+		t.Fatalf("err = %v, want full-ring diagnosis", err)
+	}
+	// The ring bounds and root were still persisted for diagnosis.
+	if _, lerr := LoadRoot(cfg.BlockSize, c.lay.CtlBase, c.Device().Peek); lerr != nil {
+		t.Fatalf("root must still persist on a degraded crash: %v", lerr)
+	}
+}
+
+// TestShutdownReportsFullRing is the clean-power-down variant of the same
+// invariant violation.
+func TestShutdownReportsFullRing(t *testing.T) {
+	cfg := testConfig(config.ThothWTSC)
+	c := mustNew(t, cfg)
+	c.PersistBlock(0, 0, blockOf(c, 0xA5))
+	fillRing(c)
+	if _, err := c.Shutdown(1000); err == nil {
+		t.Fatal("shutdown with a full ring and unposted PCB entries must error")
+	}
+}
+
+// TestCrashCleanWithHeadroomStillSucceeds pins the normal-path contract:
+// with the sized eviction threshold, Crash returns nil even at the
+// near-full occupancy the threshold allows.
+func TestCrashCleanWithHeadroomStillSucceeds(t *testing.T) {
+	cfg := testConfig(config.ThothWTSC)
+	cfg.PUBBytes = 8 * int64(cfg.BlockSize) // tiny ring, eviction churn
+	cfg.PCBEntries = 2
+	c := mustNew(t, cfg)
+	var now int64
+	for i := 0; i < 400; i++ {
+		now = c.PersistBlock(now, int64(i%13)*4096, blockOf(c, byte(i)))
+	}
+	if err := c.Crash(now); err != nil {
+		t.Fatalf("crash within the sized headroom must succeed: %v", err)
+	}
+}

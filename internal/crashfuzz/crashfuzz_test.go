@@ -1,0 +1,185 @@
+package crashfuzz
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestDeriveCaseIsPure pins the determinism contract: the same seed must
+// expand to the identical case — trace, configuration, schemes, and
+// crash point (including the adversarially profiled one) — every time.
+func TestDeriveCaseIsPure(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		a, b := DeriveCase(seed), DeriveCase(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d derived two different cases", seed)
+		}
+	}
+}
+
+// TestReplayMatchesRun pins single-line reproduction: Replay(seed) gives
+// the same verdict and report as the original Run(seed).
+func TestReplayMatchesRun(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a, b := Run(seed), Replay(seed)
+		if a.Failed() != b.Failed() || a.String() != b.String() {
+			t.Fatalf("seed %d not reproducible:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestSweepFindsNoViolations is the tier-1 slice of the acceptance
+// sweep: a block of seeds across both modes, both block sizes and all
+// scheme combinations must recover every acknowledged block.
+func TestSweepFindsNoViolations(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	sw := Sweep(1, n, 4)
+	if sw.Failed() {
+		t.Fatalf("\n%s", sw)
+	}
+	if sw.Cases != n {
+		t.Fatalf("ran %d cases, want %d", sw.Cases, n)
+	}
+}
+
+// TestModesAndShapesAreExercised guards the generator against silently
+// collapsing: across a seed range both crash modes, both block sizes,
+// and differential cases must all appear.
+func TestModesAndShapesAreExercised(t *testing.T) {
+	var adversarial, uniform, b128, b256, differential, crashAtZero bool
+	for seed := int64(1); seed <= 200; seed++ {
+		c := DeriveCase(seed)
+		switch c.Mode {
+		case Adversarial:
+			adversarial = true
+		case Uniform:
+			uniform = true
+		}
+		switch c.BlockSize {
+		case 128:
+			b128 = true
+		case 256:
+			b256 = true
+		}
+		if len(c.Schemes) > 1 {
+			differential = true
+		}
+		if c.CrashIdx == 0 {
+			crashAtZero = true
+		}
+	}
+	for name, ok := range map[string]bool{
+		"adversarial": adversarial, "uniform": uniform,
+		"128B": b128, "256B": b256,
+		"differential": differential, "crash-at-zero": crashAtZero,
+	} {
+		if !ok {
+			t.Errorf("generator never produced a %s case in 200 seeds", name)
+		}
+	}
+}
+
+// TestCrashBeforeFirstOp covers the empty-prefix edge: a system that
+// crashes before any write must still recover (nothing to lose).
+func TestCrashBeforeFirstOp(t *testing.T) {
+	c := DeriveCase(1)
+	c.CrashIdx = 0
+	if res := RunCase(c); res.Failed() {
+		t.Fatalf("\n%s", res)
+	}
+}
+
+// TestCrashAfterLastOp covers the heaviest ADR drain: everything the
+// trace wrote is still in flight through the WPQ/PCB at the crash.
+func TestCrashAfterLastOp(t *testing.T) {
+	c := DeriveCase(2)
+	c.CrashIdx = len(c.Trace)
+	if res := RunCase(c); res.Failed() {
+		t.Fatalf("\n%s", res)
+	}
+}
+
+// TestDifferentialAllSchemes runs one trace under every scheme pair the
+// fuzzer uses plus the three-way combination, cross-checking recovered
+// contents.
+func TestDifferentialAllSchemes(t *testing.T) {
+	c := DeriveCase(7)
+	c.Schemes = []config.Scheme{config.ThothWTSC, config.ThothWTBC, config.BaselineStrict}
+	c.CrashIdx = len(c.Trace)
+	if res := RunCase(c); res.Failed() {
+		t.Fatalf("\n%s", res)
+	}
+}
+
+// TestCorruptionIsDetected pins the oracle itself: a case with a
+// counter-region bit flip before the crash must fail (recovery detects
+// the tamper), and the report must carry the reproduction line.
+func TestCorruptionIsDetected(t *testing.T) {
+	c := failingCase()
+	res := RunCase(c)
+	if !res.Failed() {
+		t.Fatal("a tampered image must produce a violation")
+	}
+	if !strings.Contains(res.String(), "crashfuzz.Replay(") {
+		t.Fatalf("failure report must include the reproduction line:\n%s", res)
+	}
+}
+
+// failingCase builds a case that must fail: writes followed by a bit
+// flip in the counter region, so recovery's root check trips.
+func failingCase() Case {
+	c := Case{
+		Seed:      424242,
+		BlockSize: 128,
+		PUBBlocks: 32,
+		PCBSlots:  4,
+		Schemes:   []config.Scheme{config.ThothWTSC},
+	}
+	for i := 0; i < 40; i++ {
+		c.Trace = append(c.Trace, Op{Kind: OpWrite, Addr: int64(i%9) * 128, Len: 128, Fill: byte(i)})
+	}
+	c.Trace = append(c.Trace, Op{Kind: OpCorrupt, Addr: 0})
+	for i := 0; i < 8; i++ {
+		c.Trace = append(c.Trace, Op{Kind: OpWrite, Addr: int64(i) * 4096, Len: 128, Fill: 0xEE})
+	}
+	c.CrashIdx = len(c.Trace)
+	return c
+}
+
+// TestMinimizeShrinksFailingTrace pins the minimizer: the 49-op failing
+// trace must shrink to (close to) the single corrupting op while still
+// failing, and the corrupt op must survive minimization.
+func TestMinimizeShrinksFailingTrace(t *testing.T) {
+	min := Minimize(failingCase())
+	res := RunCase(min)
+	if !res.Failed() {
+		t.Fatal("minimized case no longer fails")
+	}
+	if len(min.Trace) > 3 {
+		t.Fatalf("minimized to %d ops, want <= 3", len(min.Trace))
+	}
+	var hasCorrupt bool
+	for _, op := range min.Trace {
+		if op.Kind == OpCorrupt {
+			hasCorrupt = true
+		}
+	}
+	if !hasCorrupt {
+		t.Fatalf("minimization dropped the corrupting op: %+v", min.Trace)
+	}
+}
+
+// TestMinimizePassingCaseIsIdentity documents that Minimize refuses to
+// touch a case that does not fail.
+func TestMinimizePassingCaseIsIdentity(t *testing.T) {
+	c := DeriveCase(3)
+	if got := Minimize(c); !reflect.DeepEqual(got, c) {
+		t.Fatal("Minimize must return passing cases unchanged")
+	}
+}

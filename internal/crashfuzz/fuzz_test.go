@@ -1,0 +1,39 @@
+package crashfuzz
+
+import (
+	"testing"
+)
+
+// FuzzCrashRecovery is the native fuzz entry point:
+//
+//	go test -fuzz=FuzzCrashRecovery -fuzztime=30s ./internal/crashfuzz
+//
+// The fuzzer explores two dimensions: the case seed (which determines
+// machine shape, schemes, workload trace and the derived crash point)
+// and an independent crash-point selector that overrides the derived
+// one, so coverage-guided mutation can slide the crash across every
+// operation boundary of an interesting trace without having to find a
+// new seed that happens to crash there.
+func FuzzCrashRecovery(f *testing.F) {
+	// The corpus spans both block sizes, both crash modes, single-scheme
+	// and differential cases, and both selector regimes (0 keeps the
+	// derived crash point).
+	f.Add(int64(1), uint64(0))
+	f.Add(int64(2), uint64(0))
+	f.Add(int64(3), uint64(5))
+	f.Add(int64(17), uint64(1))
+	f.Add(int64(42), uint64(99))
+	f.Add(int64(1000), uint64(0))
+	f.Add(int64(-7), uint64(31))
+
+	f.Fuzz(func(t *testing.T, seed int64, crashSel uint64) {
+		c := DeriveCase(seed)
+		if crashSel != 0 {
+			c.CrashIdx = int(crashSel % uint64(len(c.Trace)+1))
+		}
+		res := RunCase(c)
+		if res.Failed() {
+			t.Fatalf("\n%s", res)
+		}
+	})
+}

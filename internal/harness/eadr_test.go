@@ -38,7 +38,9 @@ func TestEADRCrashFlushesAndRecovers(t *testing.T) {
 	}
 	r.Setup()
 	r.RunTxs(300)
-	r.Crash() // eADR: flush everything; image needs no PUB merge
+	if err := r.Crash(); err != nil { // eADR: flush everything; no PUB merge needed
+		t.Fatal(err)
+	}
 	c2, err := core.Attach(cfg, r.Controller().Device())
 	if err != nil {
 		t.Fatal(err)

@@ -618,7 +618,9 @@ func (e *Experiments) Recovery() error {
 		if err != nil {
 			return err
 		}
-		res.Runner.Controller().Crash(res.Runner.Now())
+		if err := res.Runner.Controller().Crash(res.Runner.Now()); err != nil {
+			return fmt.Errorf("crash(%s): %w", wl, err)
+		}
 		rep, err := recovery.Recover(cfg, res.Controller.Device())
 		if err != nil {
 			return fmt.Errorf("recovery(%s): %w", wl, err)

@@ -240,11 +240,12 @@ func (r *Runner) RunTxs(n int) {
 	r.Fence()
 }
 
-// Crash models a power failure at the current cycle and returns the
-// device image. Under plain ADR the cache hierarchy is lost; under eADR
-// residual power flushes every dirty line through the secure write path
-// and the result is equivalent to a clean shutdown.
-func (r *Runner) Crash() {
+// Crash models a power failure at the current cycle. Under plain ADR the
+// cache hierarchy is lost; under eADR residual power flushes every dirty
+// line through the secure write path and the result is equivalent to a
+// clean shutdown. The returned error reports an ADR-flush invariant
+// violation (see core.Controller.Crash).
+func (r *Runner) Crash() error {
 	if r.cfg.EADR {
 		r.llc.FlushDirty(func(addr int64) {
 			done := r.ctl.PersistBlock(r.now, addr, r.blockBytes(addr))
@@ -253,10 +254,11 @@ func (r *Runner) Crash() {
 				r.now = done
 			}
 		})
-		r.now = r.ctl.Shutdown(r.now)
-		return
+		now, err := r.ctl.Shutdown(r.now)
+		r.now = now
+		return err
 	}
-	r.ctl.Crash(r.now)
+	return r.ctl.Crash(r.now)
 }
 
 // VerifyAll re-reads every persisted block and compares against the

@@ -1,0 +1,49 @@
+package pub
+
+import (
+	"testing"
+)
+
+// TestFillByDuplicationSingleEntry covers the loneliest crash: exactly
+// one live partial update in the PCB when power fails. Duplication must
+// replicate that entry into every slot of the packed block, and the
+// duplicates must survive a pack/unpack round trip bit-for-bit — this is
+// the case where a bug would silently lose the only update the PUB
+// carries.
+func TestFillByDuplicationSingleEntry(t *testing.T) {
+	e := Entry{BlockIndex: 0x00C0FFEE, MAC2: 0xDEADBEEFCAFEF00D, Minor: 0x55, Status: StatusCtrWasDirty}
+	for _, blockSize := range []int{128, 256} {
+		n := EntriesPerBlock(blockSize)
+		filled := FillByDuplication([]Entry{e}, n)
+		if len(filled) != n {
+			t.Fatalf("block=%dB: filled to %d entries, want %d", blockSize, len(filled), n)
+		}
+		for i, g := range filled {
+			if g != e {
+				t.Fatalf("block=%dB: slot %d holds %+v, want the duplicated entry", blockSize, i, g)
+			}
+		}
+		for i, g := range UnpackBlock(blockSize, PackBlock(blockSize, filled)) {
+			if g != e {
+				t.Fatalf("block=%dB: slot %d lost fields across pack/unpack: %+v", blockSize, i, g)
+			}
+		}
+	}
+}
+
+// TestFillByDuplicationExactFit documents the boundary where no
+// duplication is needed: a set that already fills the block comes back
+// unchanged.
+func TestFillByDuplicationExactFit(t *testing.T) {
+	n := EntriesPerBlock(128)
+	in := make([]Entry, n)
+	for i := range in {
+		in[i] = Entry{BlockIndex: uint32(i), Minor: uint8(i)}
+	}
+	out := FillByDuplication(in, n)
+	for i := range out {
+		if out[i] != in[i] {
+			t.Fatalf("slot %d changed during a no-op fill", i)
+		}
+	}
+}

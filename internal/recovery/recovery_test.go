@@ -39,7 +39,9 @@ func runAndCrash(t *testing.T, cfg config.Config, n int, stride int64) (*core.Co
 		now = c.PersistBlock(now, addr, data)
 		model[addr] = data
 	}
-	c.Crash(now)
+	if err := c.Crash(now); err != nil {
+		t.Fatal(err)
+	}
 	return c, model
 }
 

@@ -51,7 +51,9 @@ func TestShadowSuspectsCoverDirtyLines(t *testing.T) {
 	// Snapshot dirty counter blocks before the crash wipes the caches.
 	lay := c.Layout()
 	c.ForEachDirtyCtr(func(addr int64) { dirty[addr] = true })
-	c.Crash(now)
+	if err := c.Crash(now); err != nil {
+		t.Fatal(err)
+	}
 
 	ctrSus, _ := core.ShadowSuspects(lay, c.Device().Peek)
 	flagged := map[int64]bool{}
@@ -113,7 +115,9 @@ func TestFastRecoveryBeatsFullRebuild(t *testing.T) {
 		data[0] = byte(i)
 		now = c.PersistBlock(now, int64(i)*4096, data) // 3000 distinct pages
 	}
-	c.Crash(now)
+	if err := c.Crash(now); err != nil {
+		t.Fatal(err)
+	}
 	rep, err := Recover(cfg, c.Device())
 	if err != nil {
 		t.Fatal(err)

@@ -191,19 +191,24 @@ func (s *System) Read(addr int64, n int) ([]byte, error) {
 
 // Crash models a power failure: only the ADR domain survives (WPQ, PCB
 // partials flushed to the PUB, the PUB bounds, the on-chip root). It
-// returns the device image; the System itself is dead afterwards.
-func (s *System) Crash() *Device {
-	s.ctl.Crash(s.now)
+// returns the device image; the System itself is dead afterwards. A
+// non-nil error means the ADR residual-power flush could not persist
+// every pending partial update (a controller invariant violation); the
+// image is still returned for diagnosis, but recovery may not verify.
+func (s *System) Crash() (*Device, error) {
+	err := s.ctl.Crash(s.now)
 	s.crashed = true
-	return s.ctl.Device()
+	return s.ctl.Device(), err
 }
 
 // Shutdown performs a clean power-down: all dirty metadata is persisted
-// in place and the image needs no recovery. Returns the device image.
-func (s *System) Shutdown() *Device {
-	s.now = s.ctl.Shutdown(s.now)
+// in place and the image needs no recovery. Returns the device image,
+// and a non-nil error under the same condition as Crash.
+func (s *System) Shutdown() (*Device, error) {
+	now, err := s.ctl.Shutdown(s.now)
+	s.now = now
 	s.crashed = true
-	return s.ctl.Device()
+	return s.ctl.Device(), err
 }
 
 // Device returns the live device image (for inspection; tampering with

@@ -116,7 +116,10 @@ func TestCrashRecoverOpenCycle(t *testing.T) {
 		}
 		want = append(want, data)
 	}
-	img := s.Crash()
+	img, err := s.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// System is dead.
 	if err := s.Write(0, make([]byte, 128)); err == nil {
@@ -153,7 +156,10 @@ func TestShutdownNeedsNoRecovery(t *testing.T) {
 	if err := s.Write(0, data); err != nil {
 		t.Fatal(err)
 	}
-	img := s.Shutdown()
+	img, err := s.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
 	s2, err := Open(cfg, img)
 	if err != nil {
 		t.Fatal(err)
@@ -173,7 +179,10 @@ func TestTamperingDetectedByRecover(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		s.Write(int64(i)*4096, bytes.Repeat([]byte{byte(i)}, 128))
 	}
-	img := s.Crash()
+	img, err := s.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Attacker flips a counter bit.
 	regions, err := RegionsOf(cfg)
 	if err != nil {
@@ -298,7 +307,10 @@ func TestCrashConsistencyProperty(t *testing.T) {
 			}
 			model[addr] = op.Tag
 		}
-		img := s.Crash()
+		img, err := s.Crash()
+		if err != nil {
+			return false
+		}
 		if _, err := Recover(cfg, img); err != nil {
 			return false
 		}
@@ -328,7 +340,10 @@ func TestImagePersistenceAcrossProcessBoundary(t *testing.T) {
 	if err := s.Write(8192, payload); err != nil {
 		t.Fatal(err)
 	}
-	img := s.Crash()
+	img, err := s.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var buf bytes.Buffer
 	if err := SaveImage(img, &buf); err != nil {
