@@ -5,10 +5,11 @@
 GO ?= go
 SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
+TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
 
-.PHONY: ci vet build test race crashfuzz fuzz-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz trace-smoke bench-alloc fuzz-smoke sweep-1000
 
-ci: vet build test race crashfuzz
+ci: vet build test race crashfuzz trace-smoke bench-alloc
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,17 @@ race:
 # print `crashfuzz.Replay(seed)` for one-line reproduction).
 crashfuzz:
 	$(GO) run ./cmd/crashfuzz -seeds $(SWEEP_SEEDS)
+
+# Trace a quick workload and validate the emitted JSONL event stream
+# against the schema (cmd/tracecheck exits non-zero on any violation).
+trace-smoke:
+	$(GO) run ./cmd/thothsim -workload btree -warmup 200 -txs 600 -setup 1024 -pub 256 -trace $(TRACE_FILE)
+	$(GO) run ./cmd/tracecheck $(TRACE_FILE)
+
+# Prove the disabled-tracer path allocates nothing (the benchmark prints
+# allocs/op; the core test TestTracerDisabledZeroAlloc asserts the 0).
+bench-alloc:
+	$(GO) test ./internal/core -run TestTracerDisabledZeroAlloc -bench BenchmarkTracerDisabled -benchtime 10000x
 
 # Short coverage-guided fuzz session over the checked-in corpus.
 fuzz-smoke:

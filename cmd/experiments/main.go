@@ -17,9 +17,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -31,6 +34,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	warmup := fs.Int("warmup", 0, "override warm-up transactions per run")
 	setup := fs.Int("setup", 0, "override benchmark population size")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation runs")
+	traceFile := fs.String("trace", "", "write a controller event trace covering every run to this file")
+	traceFormat := fs.String("trace-format", "jsonl", "trace format: jsonl|chrome")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -51,6 +56,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	e := harness.NewExperiments(scale, stdout)
 	e.Workers = *workers
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		var sink obs.Sink
+		switch strings.ToLower(*traceFormat) {
+		case "jsonl":
+			sink = obs.NewJSONL(f)
+		case "chrome":
+			sink = obs.NewChrome(f, config.Default().CPUFreqGHz)
+		default:
+			fmt.Fprintf(stderr, "experiments: unknown trace format %q (jsonl|chrome)\n", *traceFormat)
+			return 1
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(stderr, "experiments: trace:", err)
+				return
+			}
+			fmt.Fprintf(stdout, "trace: %d events -> %s\n", sink.Count(), *traceFile)
+		}()
+		// The suite interleaves parallel runs into one stream; the obs
+		// sinks serialize writes internally.
+		e.Tracer = sink
+	}
 
 	fmt.Fprintf(stdout, "Thoth evaluation — scale: warmup=%d measure=%d setup=%d PUB=%dKiB workers=%d\n",
 		scale.WarmupTxs, scale.MeasureTxs, scale.SetupKeys, scale.PUBBytes>>10, e.Workers)

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 )
 
@@ -55,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verify := fs.Bool("verify", false, "verify all persisted data after the run")
 	shadow := fs.Bool("shadow", false, "enable Anubis shadow-table tracking (fast recovery)")
 	eadr := fs.Bool("eadr", false, "enhanced ADR: persistent cache hierarchy (extension)")
+	traceFile := fs.String("trace", "", "write a controller event trace to this file")
+	traceFormat := fs.String("trace-format", "jsonl", "trace format: jsonl|chrome")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,6 +79,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.LLCBytes = 1 << 20
 	cfg.ShadowTracking = *shadow
 	cfg.EADR = *eadr
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "thothsim:", err)
+			return 1
+		}
+		defer f.Close()
+		var sink obs.Sink
+		switch strings.ToLower(*traceFormat) {
+		case "jsonl":
+			sink = obs.NewJSONL(f)
+		case "chrome":
+			sink = obs.NewChrome(f, cfg.CPUFreqGHz)
+		default:
+			fmt.Fprintf(stderr, "thothsim: unknown trace format %q (jsonl|chrome)\n", *traceFormat)
+			return 1
+		}
+		// Close the sink after the whole run — crash and recovery
+		// included, since recovery emits events through the same tracer.
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(stderr, "thothsim: trace:", err)
+				return
+			}
+			fmt.Fprintf(stdout, "trace: %d events -> %s\n", sink.Count(), *traceFile)
+		}()
+		cfg.Tracer = sink
+	}
 
 	res, err := harness.Run(harness.RunConfig{
 		Config:     cfg,

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // The smoke tests run the real CLI entry point end to end at tiny scale:
@@ -34,6 +38,40 @@ func TestRunCrashRecover(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "recovery:") {
 		t.Errorf("crash run must print a recovery report:\n%s", out.String())
+	}
+}
+
+func TestRunWritesValidTraces(t *testing.T) {
+	for _, format := range []string{"jsonl", "chrome"} {
+		path := filepath.Join(t.TempDir(), "trace."+format)
+		var out, errw bytes.Buffer
+		code := run([]string{
+			"-workload", "swap", "-txs", "30", "-warmup", "5", "-setup", "64", "-pub", "16",
+			"-trace", path, "-trace-format", format,
+		}, &out, &errw)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", format, code, errw.String())
+		}
+		if !strings.Contains(out.String(), "trace: ") {
+			t.Errorf("%s: output missing trace summary:\n%s", format, out.String())
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		if format == "jsonl" {
+			n, err = obs.ValidateJSONL(f)
+		} else {
+			n, err = obs.ValidateChrome(f)
+		}
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s trace invalid: %v", format, err)
+		}
+		if n == 0 {
+			t.Errorf("%s trace is empty", format)
+		}
 	}
 }
 

@@ -1,0 +1,58 @@
+// Command tracecheck validates a controller event trace written by
+// thothsim or experiments with -trace. It checks the JSONL schema (one
+// JSON object per line, required fields, known event kinds) or the
+// Chrome trace_event structure, and reports the event count.
+//
+// Usage:
+//
+//	tracecheck trace.jsonl
+//	tracecheck -format chrome trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "jsonl", "trace format: jsonl|chrome")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tracecheck [-format jsonl|chrome] <file>")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 1
+	}
+	defer f.Close()
+
+	var n int
+	switch strings.ToLower(*format) {
+	case "jsonl":
+		n, err = obs.ValidateJSONL(f)
+	case "chrome":
+		n, err = obs.ValidateChrome(f)
+	default:
+		fmt.Fprintf(stderr, "tracecheck: unknown format %q (jsonl|chrome)\n", *format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d events\n", n)
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeTrace writes a tiny trace in the given format and returns its path.
+func writeTrace(t *testing.T, format string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace."+format)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var sink obs.Sink
+	if format == "jsonl" {
+		sink = obs.NewJSONL(f)
+	} else {
+		sink = obs.NewChrome(f, 4)
+	}
+	sink.Emit(obs.Event{Kind: obs.KindPCBFlush, Cycle: 10, Addr: 0x1000, Aux: 4, Scheme: "thoth-wtsc"})
+	sink.Emit(obs.Event{Kind: obs.KindWPQDrain, Cycle: 20, Addr: 0x80, Scheme: "thoth-wtsc", Detail: obs.DrainAge})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidTraces(t *testing.T) {
+	for _, format := range []string{"jsonl", "chrome"} {
+		path := writeTrace(t, format)
+		var out, errw bytes.Buffer
+		if code := run([]string{"-format", format, path}, &out, &errw); code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", format, code, errw.String())
+		}
+		if got := out.String(); got != "ok: 2 events\n" {
+			t.Errorf("%s: output %q, want \"ok: 2 events\\n\"", format, got)
+		}
+	}
+}
+
+func TestInvalidTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"kind\":\"no-such-kind\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{path}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "line 1") {
+		t.Errorf("stderr should name the offending line: %s", errw.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("no file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-format", "xml", writeTrace(t, "jsonl")}, &out, &errw); code != 2 {
+		t.Fatalf("bad format: exit %d, want 2", code)
+	}
+	if code := run([]string{"/no/such/file.jsonl"}, &out, &errw); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 
 	thoth "repro"
@@ -95,6 +96,50 @@ func ExampleSystem_Write_confidentiality() {
 	onMedia := sys.Device().Peek(0)
 	fmt.Println(bytes.Equal(onMedia, secret))
 	// Output: false
+}
+
+// A System is an io.ReaderAt/io.WriterAt, so it composes with the
+// standard positional-I/O machinery — here io.SectionReader.
+func ExampleSystem_ReadAt() {
+	sys, err := thoth.New(smallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.WriteAt([]byte("encrypted at rest"), 2048); err != nil {
+		log.Fatal(err)
+	}
+	section := io.NewSectionReader(sys, 2048, 17)
+	got, err := io.ReadAll(section)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(got))
+	// Output: encrypted at rest
+}
+
+// A Tracer observes the controller's internal events; the ring keeps
+// the most recent ones in memory.
+func ExampleNewTraceRing() {
+	cfg := smallConfig()
+	ring := thoth.NewTraceRing(4096)
+	cfg.Tracer = ring
+	sys, err := thoth.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := sys.Write(i%40*4096, bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var flushes bool
+	for _, e := range ring.Events() {
+		if e.Kind == thoth.TracePCBFlush {
+			flushes = true
+		}
+	}
+	fmt.Println(flushes)
+	// Output: true
 }
 
 // VerifyCrashConsistency confirms a crash at this instant would be

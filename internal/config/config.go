@@ -8,6 +8,8 @@ package config
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Scheme selects the persistence engine used by the secure memory
@@ -189,6 +191,15 @@ type Config struct {
 	// Seed drives all pseudo-random choices (workload keys, crash
 	// points) so every run is reproducible.
 	Seed int64
+
+	// Tracer, when non-nil, receives every controller event (PCB
+	// flushes, PUB evictions, counter overflows, WPQ drains, metadata
+	// cache evictions, tree write-backs, recovery merges). nil disables
+	// tracing at zero cost: emit sites check the field before even
+	// constructing an event. Tracer is a runtime hook, not machine
+	// geometry — Validate ignores it and experiment memo keys exclude
+	// it.
+	Tracer obs.Tracer
 }
 
 // Default returns the Table I configuration with the 128B cache block and

@@ -32,6 +32,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/layout"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/pub"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -64,6 +65,13 @@ type Controller struct {
 	// evictBlocks is the ring occupancy (in blocks) at which eviction
 	// starts (PUBEvictFraction of capacity).
 	evictBlocks int64
+
+	// tr receives structured controller events; nil disables tracing
+	// (the emit helper returns before constructing an event). schemeTag
+	// is the scheme's static label, resolved once so emission never
+	// formats strings.
+	tr        obs.Tracer
+	schemeTag string
 
 	crashed bool
 	// inADRFlush marks the residual-power drain at crash/shutdown:
@@ -129,6 +137,9 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 		ctrCache: cache.New(cfg.CtrCacheBytes, cfg.BlockSize, cfg.CtrCacheWays),
 		macCache: cache.New(cfg.MACCacheBytes, cfg.BlockSize, cfg.MACCacheWays),
 		mtCache:  cache.New(cfg.MTCacheBytes, cfg.BlockSize, cfg.MTCacheWays),
+
+		tr:        cfg.Tracer,
+		schemeTag: cfg.Scheme.String(),
 	}
 	c.tree = bmt.New(lay, c.eng)
 	if cfg.Scheme.IsThoth() {
@@ -152,6 +163,8 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 		}
 	}
 	c.q = wpq.New(mem, qEntries, drainAt, cfg.WriteLatencyCycles())
+	c.q.Tracer = cfg.Tracer
+	c.q.Scheme = c.schemeTag
 	if cfg.Scheme.IsThoth() && cfg.PCBAfterWPQ {
 		c.afterEntries = make(map[int64][]pub.Entry)
 		c.q.OnIssue = c.afterIssue
@@ -160,22 +173,55 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 	// Natural write-back paths: dirty victims of the metadata caches are
 	// persisted in place. These callbacks fire during Insert.
 	c.ctrCache.OnEvict = func(v cache.Line) {
+		c.emit(obs.KindCacheEvict, c.nowCycle, v.Addr, dirtyAux(v.Dirty), "ctr", "")
 		if v.Dirty {
 			c.persistCtrLine(v.Addr, v.Data)
 		}
 	}
 	c.macCache.OnEvict = func(v cache.Line) {
+		c.emit(obs.KindCacheEvict, c.nowCycle, v.Addr, dirtyAux(v.Dirty), "mac", "")
 		if v.Dirty {
 			c.persistMACLine(v.Addr, v.Data)
 		}
 	}
 	c.mtCache.OnEvict = func(v cache.Line) {
+		c.emit(obs.KindCacheEvict, c.nowCycle, v.Addr, dirtyAux(v.Dirty), "mt", "")
 		if v.Dirty {
 			c.persistTreeNode(v.Addr)
 		}
 	}
 	return c, nil
 }
+
+// emit hands one event to the configured tracer. The nil check comes
+// before the Event literal so the disabled path allocates nothing and
+// costs one branch (BenchmarkTracerDisabled holds this at 0 allocs/op).
+func (c *Controller) emit(k obs.Kind, cycle, addr, aux int64, part, detail string) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Emit(obs.Event{
+		Kind:   k,
+		Cycle:  cycle,
+		Addr:   addr,
+		Aux:    aux,
+		Scheme: c.schemeTag,
+		Part:   part,
+		Detail: detail,
+	})
+}
+
+// dirtyAux encodes a victim's dirty bit for KindCacheEvict.
+func dirtyAux(dirty bool) int64 {
+	if dirty {
+		return 1
+	}
+	return 0
+}
+
+// Tracer returns the tracer the controller emits to (nil when tracing
+// is disabled).
+func (c *Controller) Tracer() obs.Tracer { return c.tr }
 
 // Stats returns the run statistics.
 func (c *Controller) Stats() *stats.Stats { return c.st }
@@ -317,6 +363,7 @@ func (c *Controller) persistMACLine(addr int64, data []byte) {
 // persistTreeNode lazily writes a Merkle-tree node from the logical tree.
 func (c *Controller) persistTreeNode(addr int64) {
 	level, idx := c.treeNodeAt(addr)
+	c.emit(obs.KindTreeUpdate, c.nowCycle, addr, int64(level), "", "")
 	c.dev.WriteBlock(addr, c.tree.NodeBytes(level, idx))
 	c.mem.Post(addr, sim.Item{Ready: c.nowCycle, Dur: c.cfg.WriteLatencyCycles()})
 	c.st.AddWrite(stats.WriteTree)

@@ -4,10 +4,21 @@ import (
 	"repro/internal/config"
 	"repro/internal/ctr"
 	"repro/internal/macs"
+	"repro/internal/obs"
 	"repro/internal/pub"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// evictOutcomeTag maps the stats classification onto the static event
+// label (stats.EvictOutcome.String() values, precomputed so the emit
+// path never calls String()).
+var evictOutcomeTag = [...]string{
+	stats.EvictWrittenBack:    "written-back",
+	stats.EvictAlreadyEvicted: "already-evicted",
+	stats.EvictCleanCopy:      "clean-copy",
+	stats.EvictStaleCopy:      "stale-copy",
+}
 
 // evictPUBBlock processes the oldest packed block of the PUB ring
 // (Section IV-B): the block is read back, and for every partial update
@@ -37,13 +48,15 @@ func (c *Controller) evictPUBBlock(t int64) {
 
 	for _, e := range pub.UnpackBlock(c.cfg.BlockSize, blk) {
 		c.st.PUBEntryEvictions++
-		c.evictCtrPartial(e)
-		c.evictMACPartial(e)
+		c.evictCtrPartial(t, pubAddr, e)
+		c.evictMACPartial(t, pubAddr, e)
 	}
 }
 
-// evictCtrPartial handles the counter half of one evicted entry.
-func (c *Controller) evictCtrPartial(e pub.Entry) {
+// evictCtrPartial handles the counter half of one evicted entry. t and
+// pubAddr stamp the emitted event: pubAddr is the ring address the
+// entry was packed at, linking the eviction to its KindPCBFlush.
+func (c *Controller) evictCtrPartial(t, pubAddr int64, e pub.Entry) {
 	dataAddr := int64(e.BlockIndex) * int64(c.cfg.BlockSize)
 	ca := c.lay.CtrBlockAddr(dataAddr)
 	slot := c.lay.CtrSlot(dataAddr)
@@ -68,6 +81,7 @@ func (c *Controller) evictCtrPartial(e pub.Entry) {
 		outcome = stats.EvictCleanCopy
 	}
 	c.st.AddEvict(outcome)
+	c.emit(obs.KindPUBEvict, t, ca, pubAddr, "ctr", evictOutcomeTag[outcome])
 
 	switch c.cfg.Scheme {
 	case config.ThothWTBC:
@@ -91,7 +105,7 @@ func (c *Controller) evictCtrPartial(e pub.Entry) {
 // (Section IV-B: "evicted partial update's MAC needs to be compared with
 // a second level 8B MAC computed over the corresponding MAC in the
 // secure metadata cache").
-func (c *Controller) evictMACPartial(e pub.Entry) {
+func (c *Controller) evictMACPartial(t, pubAddr int64, e pub.Entry) {
 	dataAddr := int64(e.BlockIndex) * int64(c.cfg.BlockSize)
 	ma := c.lay.MACBlockAddr(dataAddr)
 	slot := c.lay.MACSlot(dataAddr)
@@ -117,6 +131,7 @@ func (c *Controller) evictMACPartial(e pub.Entry) {
 		}
 	}
 	c.st.AddEvict(outcome)
+	c.emit(obs.KindPUBEvict, t, ma, pubAddr, "mac", evictOutcomeTag[outcome])
 
 	switch c.cfg.Scheme {
 	case config.ThothWTBC:

@@ -8,6 +8,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/ctr"
 	"repro/internal/macs"
+	"repro/internal/obs"
 	"repro/internal/pub"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -253,6 +254,7 @@ func (c *Controller) postPUBBlock(t int64, entries []pub.Entry) int64 {
 	}
 	packed := pub.PackBlock(c.cfg.BlockSize, entries)
 	pubAddr := c.ring.Push(packed)
+	c.emit(obs.KindPCBFlush, t, pubAddr, int64(len(entries)), "", "")
 	c.pcb.AddPending()
 	c.mem.Post(pubAddr, sim.Item{Ready: t, Dur: c.cfg.WriteLatencyCycles(), Done: func(int64) {
 		c.pcb.CompletePending()
@@ -270,6 +272,7 @@ func (c *Controller) reencryptPage(t int64, addr int64, ctrLine *cache.Line) int
 	c.st.CtrOverflows++
 	blocksPerPage := c.cfg.BlocksPerPage()
 	pageBase := addr - (addr-c.lay.DataBase)%int64(c.cfg.PageBytes)
+	c.emit(obs.KindCtrOverflow, t, pageBase, int64(blocksPerPage), "", "")
 
 	oldMajor := ctr.Major(ctrLine.Data)
 	oldMinors := make([]uint8, blocksPerPage)

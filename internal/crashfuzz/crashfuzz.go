@@ -2,6 +2,7 @@ package crashfuzz
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 	thoth "repro"
 	"repro/internal/config"
-	"repro/internal/stats"
+	"repro/internal/obs"
 )
 
 // ViolationKind classifies a divergence from the crash-consistency
@@ -172,8 +173,11 @@ func runScheme(c Case, sch config.Scheme, golden map[int64][]byte) (blocks map[i
 			corruptCtr(sys, cfg, op.Addr)
 		}
 		if err != nil {
-			return nil, append(viols, Violation{VExecError, sch,
-				fmt.Sprintf("op %d (%s %#x+%d): %v", i, op.Kind, op.Addr, op.Len, err)})
+			detail := fmt.Sprintf("op %d (%s %#x+%d): %v", i, op.Kind, op.Addr, op.Len, err)
+			if errors.Is(err, thoth.ErrOutOfRange) {
+				detail += " (generator emitted an out-of-range address)"
+			}
+			return nil, append(viols, Violation{VExecError, sch, detail})
 		}
 	}
 	img, err := sys.Crash()
@@ -231,14 +235,13 @@ func corruptCtr(sys *thoth.System, cfg config.Config, off int64) {
 }
 
 // adversarialCrashIdx profiles the full trace once (no crash) under the
-// case's first scheme, snapshotting the statistics block after every
-// operation. Boundaries where ADR-pressure events fired — packed PCB
-// blocks written into the PUB, PUB evictions, counter overflows, forced
-// WPQ drains — become crash candidates, both immediately after the
-// triggering op and immediately before it (the window in which the
-// metadata consequences of the op are mid-flight). One candidate is then
-// drawn with the case's own generator, keeping the whole derivation a
-// pure function of the seed.
+// case's first scheme with an event tracer attached. Boundaries where
+// ADR-pressure events fired — packed PCB blocks written into the PUB,
+// PUB evictions, counter overflows, forced WPQ drains — become crash
+// candidates, both immediately after the triggering op and immediately
+// before it (the window in which the metadata consequences of the op
+// are mid-flight). One candidate is then drawn with the case's own
+// generator, keeping the whole derivation a pure function of the seed.
 func adversarialCrashIdx(r *rng, c Case) int {
 	cand := profileCandidates(c)
 	if len(cand) == 0 {
@@ -255,6 +258,21 @@ func adversarialCrashIdx(r *rng, c Case) int {
 func profileCandidates(c Case) (cand []int) {
 	defer func() { _ = recover() }()
 	cfg := c.ConfigFor(c.Schemes[0])
+	// An inline tracer flags the ops during which ADR-pressure events
+	// fired; the events arrive synchronously inside Write/Read.
+	var pressure bool
+	cfg.Tracer = obs.Func(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindPCBFlush, obs.KindPUBEvict, obs.KindCtrOverflow:
+			pressure = true
+		case obs.KindWPQDrain:
+			// Age-outs and end-of-run flushes are routine; only forced
+			// drains mark a pressure window.
+			if e.Detail == obs.DrainWatermark || e.Detail == obs.DrainStall {
+				pressure = true
+			}
+		}
+	})
 	sys, err := thoth.New(cfg)
 	if err != nil {
 		return nil
@@ -266,8 +284,8 @@ func profileCandidates(c Case) (cand []int) {
 			cand = append(cand, i)
 		}
 	}
-	prev := *sys.Stats()
 	for i, op := range c.Trace {
+		pressure = false
 		switch op.Kind {
 		case OpWrite:
 			if sys.Write(op.Addr, op.payload()) != nil {
@@ -278,17 +296,10 @@ func profileCandidates(c Case) (cand []int) {
 				return cand
 			}
 		}
-		cur := *sys.Stats()
-		pressure := cur.Writes(stats.WritePCB) > prev.Writes(stats.WritePCB) || // PCB flush into the PUB
-			cur.PUBEvictions > prev.PUBEvictions || // PUB eviction boundary
-			cur.CtrOverflows > prev.CtrOverflows || // page re-encryption window
-			cur.WPQIssuedByWatermark > prev.WPQIssuedByWatermark || // WPQ drain
-			cur.WPQIssuedByStall > prev.WPQIssuedByStall
 		if pressure {
 			add(i)     // just before the triggering op
 			add(i + 1) // just after it
 		}
-		prev = cur
 	}
 	sort.Ints(cand)
 	return cand

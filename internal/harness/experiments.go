@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -68,6 +69,11 @@ type Experiments struct {
 	Scale   Scale
 	Out     io.Writer
 	Workers int
+	// Tracer, when non-nil, receives the controller events of every run
+	// the suite executes. Runs execute in parallel worker goroutines, so
+	// the tracer must be safe for concurrent use (the obs sinks are).
+	// Memoization keys ignore it: tracing does not change results.
+	Tracer obs.Tracer
 
 	mu    sync.Mutex
 	cache map[string]*Result
@@ -99,6 +105,7 @@ func (e *Experiments) runConfig(cfg config.Config, wl string) RunConfig {
 		WarmupTxs:  e.Scale.WarmupTxs,
 		MeasureTxs: e.Scale.MeasureTxs,
 		SetupKeys:  e.Scale.SetupKeys,
+		Tracer:     e.Tracer,
 	}
 }
 

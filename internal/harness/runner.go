@@ -13,6 +13,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/llc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -36,6 +37,9 @@ type RunConfig struct {
 	// SetupKeys overrides the benchmark population size (0 = the
 	// paper-scale default).
 	SetupKeys int
+	// Tracer, when non-nil, receives every controller event of the run
+	// (setup, warm-up and measurement alike). It overrides Config.Tracer.
+	Tracer obs.Tracer
 }
 
 // Result is the outcome of one run.
@@ -79,6 +83,9 @@ type Runner struct {
 // (each stream gets a disjoint heap slice and its own seed), mirroring
 // the paper's 4-core setup where every core executes the benchmark.
 func NewRunner(rc RunConfig) (*Runner, error) {
+	if rc.Tracer != nil {
+		rc.Config.Tracer = rc.Tracer
+	}
 	ctl, err := core.New(rc.Config)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Chrome exports events in the Chrome trace_event JSON array format, so
+// a run opens directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. Every Event becomes an instant event ("ph":"i") on
+// a per-kind track (tid = kind), with the modeled cycle converted to
+// microseconds at the configured core clock; thread_name metadata gives
+// each track its kind name. Close writes the closing bracket — the file
+// is well-formed JSON only after Close. Safe for concurrent Emit.
+type Chrome struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	cpuGHz float64
+	elems  int64 // array elements written (metadata + events)
+	count  int64 // events only
+	closed bool
+	err    error
+}
+
+// NewChrome returns a Chrome exporter writing to w, converting cycles
+// to wall-clock microseconds at cpuGHz (values <= 0 fall back to 1 GHz,
+// i.e. 1000 cycles per displayed microsecond).
+func NewChrome(w io.Writer, cpuGHz float64) *Chrome {
+	if cpuGHz <= 0 {
+		cpuGHz = 1
+	}
+	c := &Chrome{w: bufio.NewWriter(w), cpuGHz: cpuGHz}
+	c.w.WriteString("[")
+	// Name one track per kind up front so the viewer shows stable rows.
+	for k := Kind(1); k < numKinds; k++ {
+		c.elem(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			int(k), strconv.Quote(k.String())))
+	}
+	return c
+}
+
+// elem writes one array element with the separating comma. Callers hold
+// the mutex (or are the constructor).
+func (c *Chrome) elem(s string) {
+	if c.elems > 0 {
+		c.w.WriteString(",")
+	}
+	c.w.WriteString("\n")
+	c.w.WriteString(s)
+	c.elems++
+}
+
+// Emit appends one instant event. Write errors are sticky and reported
+// by Close.
+func (c *Chrome) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.err != nil {
+		return
+	}
+	ts := float64(e.Cycle) / (c.cpuGHz * 1e3) // cycles -> microseconds
+	c.elem(fmt.Sprintf(`{"name":%s,"cat":"thoth","ph":"i","s":"t","pid":0,"tid":%d,"ts":%s,"args":{"addr":"0x%x","aux":%d,"scheme":%s,"part":%s,"detail":%s}}`,
+		strconv.Quote(e.Kind.String()), int(e.Kind),
+		strconv.FormatFloat(ts, 'f', 3, 64),
+		e.Addr, e.Aux, strconv.Quote(e.Scheme), strconv.Quote(e.Part), strconv.Quote(e.Detail)))
+	c.count++
+}
+
+// Close writes the closing bracket and flushes; the underlying writer
+// stays open. Emit after Close is a no-op.
+func (c *Chrome) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.err
+	}
+	c.closed = true
+	if c.err != nil {
+		return c.err
+	}
+	c.w.WriteString("\n]\n")
+	c.err = c.w.Flush()
+	return c.err
+}
+
+// Count returns how many events were emitted.
+func (c *Chrome) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// ValidateChrome checks that r holds a well-formed trace_event JSON
+// array: every element must carry the ph/pid/tid fields, and every
+// non-metadata element a known kind name and a non-negative timestamp.
+// It returns the number of instant events validated.
+func ValidateChrome(r io.Reader) (int, error) {
+	var arr []struct {
+		Name string   `json:"name"`
+		Ph   string   `json:"ph"`
+		Ts   *float64 `json:"ts"`
+		Pid  *int     `json:"pid"`
+		Tid  *int     `json:"tid"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&arr); err != nil {
+		return 0, fmt.Errorf("not a trace_event array: %w", err)
+	}
+	n := 0
+	for i, ev := range arr {
+		if ev.Ph == "" || ev.Pid == nil || ev.Tid == nil {
+			return n, fmt.Errorf("element %d: missing ph/pid/tid", i)
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		if _, ok := KindByName(ev.Name); !ok {
+			return n, fmt.Errorf("element %d: unknown event name %q", i, ev.Name)
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return n, fmt.Errorf("element %d: missing or negative ts", i)
+		}
+		n++
+	}
+	return n, nil
+}

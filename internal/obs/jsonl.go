@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONL streams events as one JSON object per line:
+//
+//	{"kind":"pcb-flush","cycle":812,"addr":1049088,"scheme":"thoth-wtsc","aux":9}
+//
+// Required fields: kind (a Kind.String name), cycle (>= 0), addr, and
+// scheme. The optional part, detail, and aux fields are omitted when
+// empty/zero. The stream is append-only — every prefix of whole lines
+// is a parseable trace. Safe for concurrent Emit.
+type JSONL struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	count int64
+	err   error
+}
+
+// NewJSONL returns a JSONL tracer writing to w. Call Close (or Flush)
+// before reading the output; the underlying writer is never closed.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Emit appends one line. Write errors are sticky and reported by Close.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = writeJSONLine(j.w, e)
+		j.count++
+	}
+	j.mu.Unlock()
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Close flushes; the underlying writer stays open (and usable).
+func (j *JSONL) Close() error { return j.Flush() }
+
+// Count returns how many events were emitted.
+func (j *JSONL) Count() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.count
+}
+
+// writeJSONLine hand-rolls the encoding: field order is fixed (stable
+// output for golden files and diffs) and no intermediate map or struct
+// is marshaled per event.
+func writeJSONLine(w *bufio.Writer, e Event) error {
+	var buf [32]byte
+	w.WriteString(`{"kind":`)
+	w.WriteString(strconv.Quote(e.Kind.String()))
+	w.WriteString(`,"cycle":`)
+	w.Write(strconv.AppendInt(buf[:0], e.Cycle, 10))
+	w.WriteString(`,"addr":`)
+	w.Write(strconv.AppendInt(buf[:0], e.Addr, 10))
+	w.WriteString(`,"scheme":`)
+	w.WriteString(strconv.Quote(e.Scheme))
+	if e.Part != "" {
+		w.WriteString(`,"part":`)
+		w.WriteString(strconv.Quote(e.Part))
+	}
+	if e.Detail != "" {
+		w.WriteString(`,"detail":`)
+		w.WriteString(strconv.Quote(e.Detail))
+	}
+	if e.Aux != 0 {
+		w.WriteString(`,"aux":`)
+		w.Write(strconv.AppendInt(buf[:0], e.Aux, 10))
+	}
+	_, err := w.WriteString("}\n")
+	return err
+}
+
+// jsonlFields is the schema: field name -> required.
+var jsonlFields = map[string]bool{
+	"kind":   true,
+	"cycle":  true,
+	"addr":   true,
+	"scheme": true,
+	"part":   false,
+	"detail": false,
+	"aux":    false,
+}
+
+// ValidateJSONL checks a JSONL event stream against the schema: every
+// line must be a JSON object with the required kind/cycle/addr/scheme
+// fields, a known kind name, a non-negative cycle, integer numerics,
+// and no unknown fields. It returns the number of events validated and
+// the first violation (with its 1-based line number).
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	n := 0
+	for line := 1; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			return n, fmt.Errorf("line %d: not a JSON object: %w", line, err)
+		}
+		for name, required := range jsonlFields {
+			if _, ok := obj[name]; required && !ok {
+				return n, fmt.Errorf("line %d: missing required field %q", line, name)
+			}
+		}
+		for name := range obj {
+			if _, ok := jsonlFields[name]; !ok {
+				return n, fmt.Errorf("line %d: unknown field %q", line, name)
+			}
+		}
+		var kind string
+		if err := json.Unmarshal(obj["kind"], &kind); err != nil {
+			return n, fmt.Errorf("line %d: kind is not a string: %w", line, err)
+		}
+		if _, ok := KindByName(kind); !ok {
+			return n, fmt.Errorf("line %d: unknown kind %q", line, kind)
+		}
+		for _, name := range []string{"cycle", "addr", "aux"} {
+			raw, ok := obj[name]
+			if !ok {
+				continue
+			}
+			var v int64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return n, fmt.Errorf("line %d: %s is not an integer: %w", line, name, err)
+			}
+			if name == "cycle" && v < 0 {
+				return n, fmt.Errorf("line %d: negative cycle %d", line, v)
+			}
+		}
+		for _, name := range []string{"scheme", "part", "detail"} {
+			raw, ok := obj[name]
+			if !ok {
+				continue
+			}
+			var s string
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return n, fmt.Errorf("line %d: %s is not a string: %w", line, name, err)
+			}
+			if name == "scheme" && s == "" {
+				return n, fmt.Errorf("line %d: empty scheme", line)
+			}
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(1); k < numKinds; k++ {
+		name := k.String()
+		if strings.Contains(name, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v,%v, want %v", name, got, ok, k)
+		}
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Fatal("KindByName accepted an unknown name")
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for i := int64(1); i <= 5; i++ {
+		r.Emit(Event{Kind: KindPCBFlush, Cycle: i, Scheme: "thoth-wtsc"})
+	}
+	if r.Len() != 3 || r.Count() != 5 || r.Dropped() != 2 {
+		t.Fatalf("len=%d count=%d dropped=%d, want 3/5/2", r.Len(), r.Count(), r.Dropped())
+	}
+	ev := r.Events()
+	for i, want := range []int64{3, 4, 5} {
+		if ev[i].Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d", i, ev[i].Cycle, want)
+		}
+	}
+}
+
+func TestFuncAndMulti(t *testing.T) {
+	var a, b int
+	tr := Multi(Func(func(Event) { a++ }), Func(func(Event) { b++ }), Nop{})
+	tr.Emit(Event{Kind: KindWPQDrain})
+	tr.Emit(Event{Kind: KindWPQDrain})
+	if a != 2 || b != 2 {
+		t.Fatalf("multi fan-out reached a=%d b=%d, want 2/2", a, b)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(Event{Kind: KindPCBFlush, Cycle: 812, Addr: 0x100200, Aux: 9, Scheme: "thoth-wtsc"})
+	j.Emit(Event{Kind: KindPUBEvict, Cycle: 901, Addr: 0x40, Aux: 0x100200, Scheme: "thoth-wtsc", Part: "ctr", Detail: "written-back"})
+	j.Emit(Event{Kind: KindRecoveryMerge, Cycle: 0, Addr: 4096, Scheme: "thoth-wtbc", Detail: "stale"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Count() != 3 {
+		t.Fatalf("count = %d, want 3", j.Count())
+	}
+	n, err := ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted stream does not validate: %v\n%s", err, buf.String())
+	}
+	if n != 3 {
+		t.Fatalf("validated %d events, want 3", n)
+	}
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	cases := map[string]string{
+		"not JSON":       "pcb-flush 812\n",
+		"missing field":  `{"kind":"pcb-flush","cycle":1,"addr":0}` + "\n",
+		"unknown kind":   `{"kind":"warp-drive","cycle":1,"addr":0,"scheme":"x"}` + "\n",
+		"unknown field":  `{"kind":"pcb-flush","cycle":1,"addr":0,"scheme":"x","bogus":1}` + "\n",
+		"negative cycle": `{"kind":"pcb-flush","cycle":-1,"addr":0,"scheme":"x"}` + "\n",
+		"string cycle":   `{"kind":"pcb-flush","cycle":"1","addr":0,"scheme":"x"}` + "\n",
+		"empty scheme":   `{"kind":"pcb-flush","cycle":1,"addr":0,"scheme":""}` + "\n",
+	}
+	for name, line := range cases {
+		if _, err := ValidateJSONL(strings.NewReader(line)); err == nil {
+			t.Errorf("%s accepted: %s", name, line)
+		}
+	}
+}
+
+func TestChromeWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf, 4.0)
+	c.Emit(Event{Kind: KindPCBFlush, Cycle: 4000, Addr: 0x100200, Aux: 9, Scheme: "thoth-wtsc"})
+	c.Emit(Event{Kind: KindCacheEvict, Cycle: 4100, Addr: 0x80, Aux: 1, Scheme: "thoth-wtsc", Part: "mac"})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("chrome export invalid: %v\n%s", err, buf.String())
+	}
+	if n != 2 || c.Count() != 2 {
+		t.Fatalf("validated %d events (count %d), want 2", n, c.Count())
+	}
+	// Emit after Close must not corrupt the file.
+	c.Emit(Event{Kind: KindPCBFlush})
+	if _, err := ValidateChrome(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("post-Close emit corrupted output: %v", err)
+	}
+}
+
+func TestChromeEmptyIsWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf, 4.0)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateChrome(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("empty export: n=%d err=%v\n%s", n, err, buf.String())
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/macs"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/pub"
 )
 
@@ -112,10 +113,19 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 			return nil, fmt.Errorf("recovery: %w", err)
 		}
 		rep.PUBBlocks = ring.Len()
+		// Per-entry cost along the Section IV-D model (EstimateCycles):
+		// one block read per PUB block, then reads + MACs + writes per
+		// entry. cyc stamps the emitted KindRecoveryMerge events so a
+		// traced recovery renders as a timeline.
+		read := cfg.ReadLatencyCycles()
+		perEntry := 3*read + 2*int64(cfg.HashLatencyCycles) + 2*cfg.WriteLatencyCycles()
+		cyc := int64(0)
 		for _, blk := range ring.PeekAll() {
+			cyc += read
 			for _, e := range pub.UnpackBlock(cfg.BlockSize, blk) {
 				rep.PUBEntries++
-				mergeEntry(cfg, lay, eng, dev, e, rep)
+				cyc += perEntry
+				mergeEntry(cfg, lay, eng, dev, e, rep, cyc)
 			}
 		}
 		rep.EstimatedCycles = EstimateCycles(cfg, rep.PUBBlocks)
@@ -149,13 +159,27 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 }
 
 // mergeEntry applies one partial update if it proves fresh against the
-// in-place ciphertext.
-func mergeEntry(cfg config.Config, lay *layout.Layout, eng *crypt.Engine, dev *nvm.Device, e pub.Entry, rep *Report) {
+// in-place ciphertext. cyc is the modeled recovery cycle stamped on the
+// emitted KindRecoveryMerge event.
+func mergeEntry(cfg config.Config, lay *layout.Layout, eng *crypt.Engine, dev *nvm.Device, e pub.Entry, rep *Report, cyc int64) {
 	dataAddr := int64(e.BlockIndex) * int64(cfg.BlockSize)
+	emit := func(detail string) {
+		if cfg.Tracer == nil {
+			return
+		}
+		cfg.Tracer.Emit(obs.Event{
+			Kind:   obs.KindRecoveryMerge,
+			Cycle:  cyc,
+			Addr:   dataAddr,
+			Scheme: cfg.Scheme.String(),
+			Detail: detail,
+		})
+	}
 	if dataAddr < lay.DataBase || dataAddr >= lay.DataBase+lay.DataBytes {
 		// A corrupted entry; the root check will catch real damage, but
 		// never dereference a bogus address.
 		rep.SkippedStale++
+		emit("out-of-range")
 		return
 	}
 	ca := lay.CtrBlockAddr(dataAddr)
@@ -167,23 +191,38 @@ func mergeEntry(cfg config.Config, lay *layout.Layout, eng *crypt.Engine, dev *n
 	mac1 := eng.MAC(ciphertext, dataAddr, candidate, cfg.MACSize())
 	if eng.MAC2(mac1) != e.MAC2 {
 		rep.SkippedStale++
+		emit("stale")
 		return
 	}
 
 	// The entry matches the newest ciphertext: merge counter and MAC
 	// into their home blocks.
+	mergedCtr := false
 	if ctr.Minor(ctrBlk, cslot) != e.Minor {
 		ctr.SetMinor(ctrBlk, cslot, e.Minor)
 		dev.WriteBlock(ca, ctrBlk)
 		rep.MergedCtr++
+		mergedCtr = true
 	}
 	ma := lay.MACBlockAddr(dataAddr)
 	mslot := lay.MACSlot(dataAddr)
 	macBlk := dev.Peek(ma)
+	mergedMAC := false
 	if !macs.Equal(macBlk, mslot, cfg.MACSize(), mac1) {
 		macs.Set(macBlk, mslot, cfg.MACSize(), mac1)
 		dev.WriteBlock(ma, macBlk)
 		rep.MergedMAC++
+		mergedMAC = true
+	}
+	switch {
+	case mergedCtr && mergedMAC:
+		emit("ctr+mac")
+	case mergedCtr:
+		emit("ctr")
+	case mergedMAC:
+		emit("mac")
+	default:
+		emit("noop")
 	}
 }
 

@@ -153,6 +153,43 @@ type Stats struct {
 	CtrOverflows int64
 }
 
+// Sub returns the counter-wise difference s - prev: the activity that
+// happened between the two snapshots. Stats is fully value-copyable
+// (the per-category tallies are fixed-size arrays), which is what makes
+// interval measurement a plain subtraction.
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Cycles -= prev.Cycles
+	d.Transactions -= prev.Transactions
+	for i := range d.writes {
+		d.writes[i] -= prev.writes[i]
+	}
+	for i := range d.evicts {
+		d.evicts[i] -= prev.evicts[i]
+	}
+	d.NVMReads -= prev.NVMReads
+	d.LLCHits -= prev.LLCHits
+	d.LLCMisses -= prev.LLCMisses
+	d.CtrHits -= prev.CtrHits
+	d.CtrMisses -= prev.CtrMisses
+	d.MACHits -= prev.MACHits
+	d.MACMisses -= prev.MACMisses
+	d.MTHits -= prev.MTHits
+	d.MTMisses -= prev.MTMisses
+	d.PartialUpdates -= prev.PartialUpdates
+	d.PCBMerged -= prev.PCBMerged
+	d.PCBInserted -= prev.PCBInserted
+	d.WPQCoalesced -= prev.WPQCoalesced
+	d.WPQStallCycles -= prev.WPQStallCycles
+	d.WPQIssuedByAge -= prev.WPQIssuedByAge
+	d.WPQIssuedByWatermark -= prev.WPQIssuedByWatermark
+	d.WPQIssuedByStall -= prev.WPQIssuedByStall
+	d.PUBEvictions -= prev.PUBEvictions
+	d.PUBEntryEvictions -= prev.PUBEntryEvictions
+	d.CtrOverflows -= prev.CtrOverflows
+	return d
+}
+
 // AddWrite records one block write of the given category.
 func (s *Stats) AddWrite(c WriteCategory) { s.writes[c]++ }
 

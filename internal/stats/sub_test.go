@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSubCoversEveryField sets every counter to a non-zero value and
+// checks that Sub zeroes all of them: if a field is ever added to Stats
+// without updating Sub, cur.Sub(cur) keeps its (copied) value and this
+// test fails.
+func TestSubCoversEveryField(t *testing.T) {
+	var cur Stats
+	rv := reflect.ValueOf(&cur).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		if f.CanSet() && f.Kind() == reflect.Int64 {
+			f.SetInt(int64(i + 1))
+		}
+	}
+	for c := WriteCategory(0); c < numWriteCategories; c++ {
+		cur.AddWrite(c)
+	}
+	for o := EvictOutcome(0); o < numEvictOutcomes; o++ {
+		cur.AddEvict(o)
+	}
+
+	if got := cur.Sub(cur); got != (Stats{}) {
+		t.Fatalf("Sub misses a field: cur.Sub(cur) = %+v", got)
+	}
+	if got := cur.Sub(Stats{}); got != cur {
+		t.Fatalf("Sub against zero changed values: %+v", got)
+	}
+}
+
+func TestSubInterval(t *testing.T) {
+	var a Stats
+	a.AddWrite(WriteData)
+	a.NVMReads = 5
+	b := a
+	b.AddWrite(WriteData)
+	b.AddWrite(WritePCB)
+	b.NVMReads = 9
+
+	d := b.Sub(a)
+	if d.Writes(WriteData) != 1 || d.Writes(WritePCB) != 1 || d.NVMReads != 4 {
+		t.Fatalf("interval delta wrong: %+v", d)
+	}
+}

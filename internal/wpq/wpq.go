@@ -26,6 +26,7 @@ package wpq
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -87,6 +88,13 @@ type WPQ struct {
 	// arrangement uses this to divert lightly-updated metadata blocks
 	// into the PCB instead of writing them in full (Section IV-C).
 	OnIssue func(addr int64) (suppress bool)
+
+	// Tracer, when non-nil, observes every pending entry leaving the
+	// coalescing window as a KindWPQDrain event whose Detail carries
+	// the drain reason. Scheme is the static label stamped on emitted
+	// events. Both are set by core.attach.
+	Tracer obs.Tracer
+	Scheme string
 
 	// Suppressed counts entries whose write OnIssue suppressed.
 	Suppressed int64
@@ -151,11 +159,21 @@ func (w *WPQ) reapFrees(t int64) {
 }
 
 // issueOldest hands the oldest pending entry to its memory bank (or
-// suppresses it via OnIssue, freeing the slot immediately).
-func (w *WPQ) issueOldest(t int64) {
+// suppresses it via OnIssue, freeing the slot immediately). reason is
+// one of the obs.Drain* labels.
+func (w *WPQ) issueOldest(t int64, reason string) {
 	e := w.pending[0]
 	w.pending = w.pending[1:]
 	delete(w.pendSet, e.addr)
+	if w.Tracer != nil {
+		w.Tracer.Emit(obs.Event{
+			Kind:   obs.KindWPQDrain,
+			Cycle:  t,
+			Addr:   e.addr,
+			Scheme: w.Scheme,
+			Detail: reason,
+		})
+	}
 	if w.OnIssue != nil && w.OnIssue(e.addr) {
 		w.Suppressed++
 		return
@@ -175,12 +193,12 @@ func (w *WPQ) issueOldest(t int64) {
 func (w *WPQ) drainExcess(t int64) {
 	for len(w.pending) > w.drainAt {
 		w.IssuedByWatermark++
-		w.issueOldest(t)
+		w.issueOldest(t, obs.DrainWatermark)
 	}
 	for n := 0; n < maxAgeIssuesPerCall && len(w.pending) > 0 &&
 		w.pending[0].at+ageLimitFor(w.pending[0].addr) <= t; n++ {
 		w.IssuedByAge++
-		w.issueOldest(t)
+		w.issueOldest(t, obs.DrainAge)
 	}
 }
 
@@ -224,7 +242,7 @@ func (w *WPQ) Insert(t int64, addr int64) Result {
 		}
 		if len(w.pending) > 0 {
 			w.IssuedByStall++
-			w.issueOldest(when)
+			w.issueOldest(when, obs.DrainStall)
 			continue
 		}
 		panic("wpq: full queue with nothing in flight")
@@ -247,6 +265,6 @@ func (w *WPQ) Flush(t int64) {
 	w.mem.CatchUp(t)
 	w.reapFrees(t)
 	for len(w.pending) > 0 {
-		w.issueOldest(t)
+		w.issueOldest(t, obs.DrainFlush)
 	}
 }

@@ -37,8 +37,19 @@ import (
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/stats"
+)
+
+// Sentinel errors for the two access-failure classes. They are wrapped
+// with call-site detail; test with errors.Is.
+var (
+	// ErrCrashed reports an operation on a system that has crashed (or
+	// shut down). Recover the device image and Open a new system.
+	ErrCrashed = errors.New("thoth: system has crashed")
+	// ErrOutOfRange reports an access outside the protected data region.
+	ErrOutOfRange = errors.New("thoth: access outside data region")
 )
 
 // Config is the machine configuration (Table I parameters plus sweep
@@ -81,16 +92,104 @@ var ErrRootMismatch = recovery.ErrRootMismatch
 // outcomes, cache hit rates, stall cycles).
 type Stats = stats.Stats
 
+// StatsSnapshot is an immutable copy of the controller statistics at one
+// instant. Stats is fully value-copyable, so a snapshot is a plain value:
+// it never changes after it is taken, and snapshots subtract
+// (StatsDelta) to measure intervals.
+type StatsSnapshot = stats.Stats
+
+// Tracing. Set Config.Tracer (or RunConfig.Tracer) to a Tracer and the
+// controller streams every notable internal event to it: PCB flushes,
+// PUB evictions with their Figure-3 outcome, counter overflows, WPQ
+// drains with their reason, metadata-cache evictions, tree updates, and
+// recovery merges. A nil tracer is free: the disabled path performs no
+// allocation and no call.
+
+// Tracer receives controller events. Implementations must be cheap;
+// they run inline in the simulation loop.
+type Tracer = obs.Tracer
+
+// TraceEvent is one controller event: what happened (Kind), when in
+// modeled cycles, to which NVM address, under which scheme.
+type TraceEvent = obs.Event
+
+// TraceKind identifies the type of a TraceEvent.
+type TraceKind = obs.Kind
+
+// The event kinds a Tracer can observe.
+const (
+	// TracePCBFlush: a packed partial-updates block left the PCB for the
+	// PUB ring. Addr is the ring address, Aux the entry count.
+	TracePCBFlush = obs.KindPCBFlush
+	// TracePUBEvict: the eviction engine processed one partial update.
+	// Addr is the metadata home block, Aux the ring address it came
+	// from, Detail the Figure-3 outcome.
+	TracePUBEvict = obs.KindPUBEvict
+	// TraceCtrOverflow: a minor counter overflowed and its page was
+	// re-encrypted. Addr is the page base.
+	TraceCtrOverflow = obs.KindCtrOverflow
+	// TraceWPQDrain: a write left the WPQ coalescing window. Detail is
+	// the drain reason (watermark, age, stall, flush).
+	TraceWPQDrain = obs.KindWPQDrain
+	// TraceCacheEvict: a metadata cache evicted a line. Part names the
+	// cache (ctr, mac, mt); Aux is 1 when the line was dirty.
+	TraceCacheEvict = obs.KindCacheEvict
+	// TraceTreeUpdate: an integrity-tree node was persisted. Aux is the
+	// tree level.
+	TraceTreeUpdate = obs.KindTreeUpdate
+	// TraceRecoveryMerge: recovery processed one PUB entry. Detail says
+	// what merged (ctr+mac, ctr, mac, noop, stale, out-of-range).
+	TraceRecoveryMerge = obs.KindRecoveryMerge
+)
+
+// TraceRing is a bounded in-memory tracer keeping the most recent
+// events; use it to observe a window of activity without I/O.
+type TraceRing = obs.Ring
+
+// NewTraceRing returns a TraceRing holding the last capacity events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// JSONLTracer streams events to a writer as one JSON object per line
+// (the schema cmd/tracecheck validates). Close flushes; the underlying
+// writer stays open.
+type JSONLTracer = obs.JSONL
+
+// NewJSONLTracer returns a JSONLTracer writing to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONL(w) }
+
+// ChromeTracer exports events in Chrome trace_event format: load the
+// output in Perfetto (ui.perfetto.dev) or chrome://tracing to see each
+// event kind on its own track along the modeled timeline.
+type ChromeTracer = obs.Chrome
+
+// NewChromeTracer returns a ChromeTracer writing to w, converting
+// cycles to microseconds at cpuGHz (pass cfg.CPUFreqGHz; values <= 0
+// fall back to 1 GHz). Call Close to terminate the JSON array.
+func NewChromeTracer(w io.Writer, cpuGHz float64) *ChromeTracer {
+	return obs.NewChrome(w, cpuGHz)
+}
+
+// MultiTracer fans one event stream out to several tracers.
+func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
+
 // System is a secure NVM system: the processor-side controller plus the
 // device. Addresses passed to Read/Write are offsets into the protected
 // data region, starting at zero. A System is not safe for concurrent
 // use.
 type System struct {
-	cfg     config.Config
-	ctl     *core.Controller
-	now     int64
-	crashed bool
+	cfg       config.Config
+	ctl       *core.Controller
+	now       int64
+	crashed   bool
+	lastStats stats.Stats // baseline for StatsDelta
 }
+
+// System reads and writes at arbitrary byte offsets; expose the standard
+// positional-I/O interfaces so it composes with io helpers.
+var (
+	_ io.ReaderAt = (*System)(nil)
+	_ io.WriterAt = (*System)(nil)
+)
 
 // New creates a system with a fresh (zeroed) device.
 func New(cfg Config) (*System, error) {
@@ -125,9 +224,9 @@ func (s *System) BlockSize() int { return s.cfg.BlockSize }
 func (s *System) checkRange(addr int64, n int) error {
 	switch {
 	case s.crashed:
-		return errors.New("thoth: system has crashed; recover the device and Open a new system")
+		return fmt.Errorf("%w; recover the device and Open a new system", ErrCrashed)
 	case addr < 0 || n < 0 || addr+int64(n) > s.DataSize():
-		return fmt.Errorf("thoth: range [%d,+%d) outside data region of %d bytes", addr, n, s.DataSize())
+		return fmt.Errorf("%w: range [%d,+%d) outside data region of %d bytes", ErrOutOfRange, addr, n, s.DataSize())
 	}
 	return nil
 }
@@ -189,6 +288,43 @@ func (s *System) Read(addr int64, n int) ([]byte, error) {
 	return out, nil
 }
 
+// ReadAt implements io.ReaderAt over the protected data region. Reads
+// past the end of the region are truncated and return io.EOF, per the
+// io.ReaderAt contract.
+func (s *System) ReadAt(p []byte, off int64) (int, error) {
+	if s.crashed || off < 0 {
+		return 0, s.checkRange(off, 0)
+	}
+	if off >= s.DataSize() {
+		return 0, io.EOF
+	}
+	n := len(p)
+	short := false
+	if int64(n) > s.DataSize()-off {
+		n = int(s.DataSize() - off)
+		short = true
+	}
+	out, err := s.Read(off, n)
+	if err != nil {
+		return 0, err
+	}
+	copy(p, out)
+	if short {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt over the protected data region. Unlike
+// ReadAt it does not truncate: a write extending past the region fails
+// with ErrOutOfRange and nothing is written.
+func (s *System) WriteAt(p []byte, off int64) (int, error) {
+	if err := s.Write(off, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
 // Crash models a power failure: only the ADR domain survives (WPQ, PCB
 // partials flushed to the PUB, the PUB bounds, the on-chip root). It
 // returns the device image; the System itself is dead afterwards. A
@@ -225,7 +361,7 @@ func (s *System) Root() uint64 { return s.ctl.Root() }
 // first violation found.
 func (s *System) VerifyCrashConsistency() error {
 	if s.crashed {
-		return errors.New("thoth: system has crashed")
+		return ErrCrashed
 	}
 	return s.ctl.VerifyCrashConsistency()
 }
@@ -238,10 +374,28 @@ func (s *System) ElapsedSeconds() float64 {
 	return float64(s.now) / (s.cfg.CPUFreqGHz * 1e9)
 }
 
-// Stats returns the controller statistics (shared, live).
-func (s *System) Stats() *Stats {
+// Stats returns an immutable snapshot of the controller statistics at
+// this instant, with Cycles stamped to the system's current modeled
+// time. The snapshot is a value: it does not change as the system keeps
+// running, and two snapshots subtract with Stats.Sub to measure an
+// interval. (Earlier versions returned a live *Stats pointer; see
+// CHANGES.md for the migration.)
+func (s *System) Stats() StatsSnapshot {
 	s.ctl.SyncStats()
-	return s.ctl.Stats()
+	snap := *s.ctl.Stats()
+	snap.Cycles = s.now
+	return snap
+}
+
+// StatsDelta returns the statistics accumulated since the previous
+// StatsDelta call (or since the system was created) and advances the
+// baseline. It is the convenient form of taking two Stats snapshots and
+// subtracting them.
+func (s *System) StatsDelta() StatsSnapshot {
+	cur := s.Stats()
+	d := cur.Sub(s.lastStats)
+	s.lastStats = cur
+	return d
 }
 
 // SaveImage serializes a device image to w (crash images survive
@@ -264,10 +418,20 @@ func EstimateRecoverySeconds(cfg Config) float64 {
 	return recovery.EstimateSeconds(cfg, cfg.PUBBlocks())
 }
 
+// Region is one contiguous range of the NVM address map.
+type Region struct {
+	Base, Bytes int64
+}
+
 // Regions describes the NVM address map of a configuration: where the
 // protected data, counter blocks, MAC blocks, integrity-tree levels,
 // the PUB ring and the ADR control block live. Tests and attack models
 // use it to target specific persisted structures.
+//
+// TreeBase/TreeBytes lump every integrity-tree level into one span;
+// TreeLevels additionally reports each level on its own (level 0 holds
+// the hashes over the counter blocks, the last level is the root's
+// children).
 type Regions struct {
 	DataBase, DataBytes int64
 	CtrBase, CtrBytes   int64
@@ -275,6 +439,8 @@ type Regions struct {
 	TreeBase, TreeBytes int64
 	PUBBase, PUBBytes   int64
 	CtlBase, CtlBytes   int64
+
+	TreeLevels []Region
 }
 
 // RegionsOf computes the address map for a configuration.
@@ -283,6 +449,13 @@ func RegionsOf(cfg Config) (Regions, error) {
 	if err != nil {
 		return Regions{}, err
 	}
+	levels := make([]Region, lay.TreeLevels())
+	for i := range levels {
+		levels[i] = Region{
+			Base:  lay.TreeBase[i],
+			Bytes: lay.TreeNodes[i] * int64(cfg.BlockSize),
+		}
+	}
 	return Regions{
 		DataBase: lay.DataBase, DataBytes: lay.DataBytes,
 		CtrBase: lay.CtrBase, CtrBytes: lay.CtrBytes,
@@ -290,6 +463,7 @@ func RegionsOf(cfg Config) (Regions, error) {
 		TreeBase: lay.TreeBase[0], TreeBytes: lay.PUBBase - lay.TreeBase[0],
 		PUBBase: lay.PUBBase, PUBBytes: lay.PUBBytes,
 		CtlBase: lay.CtlBase, CtlBytes: lay.CtlBytes,
+		TreeLevels: levels,
 	}, nil
 }
 
