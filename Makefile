@@ -7,9 +7,9 @@ SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
 TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
 
-.PHONY: ci vet build test race crashfuzz trace-smoke bench-alloc fuzz-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz trace-smoke bench-alloc bench-json fuzz-smoke sweep-1000
 
-ci: vet build test race crashfuzz trace-smoke bench-alloc
+ci: vet build test race crashfuzz trace-smoke bench-alloc bench-json
 
 vet:
 	$(GO) vet ./...
@@ -34,10 +34,22 @@ trace-smoke:
 	$(GO) run ./cmd/thothsim -workload btree -warmup 200 -txs 600 -setup 1024 -pub 256 -trace $(TRACE_FILE)
 	$(GO) run ./cmd/tracecheck $(TRACE_FILE)
 
-# Prove the disabled-tracer path allocates nothing (the benchmark prints
-# allocs/op; the core test TestTracerDisabledZeroAlloc asserts the 0).
+# Prove the zero-allocation hot paths stay that way: the disabled-tracer
+# emit and the steady-state secure read must both report 0 allocs/op
+# (TestReadHitZeroAlloc and TestTracerDisabledZeroAlloc assert the 0).
 bench-alloc:
-	$(GO) test ./internal/core -run TestTracerDisabledZeroAlloc -bench BenchmarkTracerDisabled -benchtime 10000x
+	$(GO) test ./internal/core -run 'TestTracerDisabledZeroAlloc|TestReadHitZeroAlloc' -bench 'BenchmarkTracerDisabled|BenchmarkReadHit' -benchtime 10000x
+
+# Benchmark-regression gate: re-measure the suite and compare against
+# the committed baseline (fails on >15% ns/op or ANY allocs/op
+# regression). After an intentional performance change, refresh the
+# baseline with BENCH_UPDATE=1 make bench-json and commit BENCH.json.
+bench-json:
+ifeq ($(BENCH_UPDATE),1)
+	$(GO) run ./cmd/benchjson -update BENCH.json
+else
+	$(GO) run ./cmd/benchjson -compare BENCH.json
+endif
 
 # Short coverage-guided fuzz session over the checked-in corpus.
 fuzz-smoke:

@@ -1,0 +1,299 @@
+// Command benchjson runs the repository's benchmark-regression suite
+// and reads/writes the committed baseline (BENCH.json at the repo root).
+//
+// Two kinds of benchmarks are measured with testing.Benchmark:
+//
+//   - micro: the controller hot paths (steady-state secure read and
+//     persist) and their dominant primitives (keyed MAC, counter-mode
+//     pad XOR, PUB entry bit-packing). These carry the tentpole's
+//     zero-allocation guarantee: allocs/op is part of the baseline and
+//     ANY increase is a failure.
+//   - figure: one quick-scale end-to-end experiment run per scheme, the
+//     wall-clock proxy for the paper-figure generators.
+//
+// Usage:
+//
+//	benchjson -update BENCH.json    re-measure and overwrite the baseline
+//	benchjson -compare BENCH.json   re-measure and fail (exit 1) on
+//	                                >15% ns/op or any allocs/op regression
+//	benchjson                       measure and print JSON to stdout
+//
+// `make bench-json` wires -compare into `make ci`; BENCH_UPDATE=1
+// switches it to -update for intentional performance changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/harness"
+	"repro/internal/pub"
+)
+
+// Entry is one benchmark's recorded result.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// File is the on-disk baseline format.
+type File struct {
+	Note       string           `json:"note"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// nsTolerance is the relative ns/op regression allowed before -compare
+// fails. Allocations have no tolerance: the baseline paths are
+// zero-allocation by construction and must stay that way.
+const nsTolerance = 0.15
+
+// figureNsTolerance is the wider bound for the figure/ benchmarks: each
+// rep is a single end-to-end run (~hundreds of ms), so min-of-reps
+// absorbs much less scheduler noise than it does for the micros.
+const figureNsTolerance = 0.35
+
+// reps is how many times each benchmark is measured; the minimum ns/op
+// is kept, discarding scheduler noise on loaded machines.
+const reps = 3
+
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchConfig mirrors internal/core's test configuration: small caches
+// and PUB so the steady state includes eviction work.
+func benchConfig(s config.Scheme) config.Config {
+	cfg := config.Default().WithScheme(s)
+	cfg.MemBytes = 256 << 20
+	cfg.PUBBytes = 16 << 10
+	cfg.CtrCacheBytes = 4 << 10
+	cfg.MACCacheBytes = 8 << 10
+	cfg.MTCacheBytes = 16 << 10
+	return cfg
+}
+
+func mustController(b *testing.B, s config.Scheme) *core.Controller {
+	c, err := core.New(benchConfig(s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// quickRunConfig is one figure-level experiment run at QuickScale.
+func quickRunConfig(s config.Scheme, wl string) harness.RunConfig {
+	sc := harness.QuickScale()
+	cfg := config.Default().WithScheme(s)
+	cfg.MemBytes = sc.MemBytes
+	cfg.PUBBytes = sc.PUBBytes
+	cfg.LLCBytes = sc.LLCBytes
+	return harness.RunConfig{
+		Config:     cfg,
+		Workload:   wl,
+		WarmupTxs:  sc.WarmupTxs,
+		MeasureTxs: sc.MeasureTxs,
+		SetupKeys:  sc.SetupKeys,
+	}
+}
+
+func suite() []bench {
+	return []bench{
+		{"micro/read_hit", func(b *testing.B) {
+			c := mustController(b, config.ThothWTSC)
+			addr := c.Layout().DataBase
+			blk := make([]byte, benchConfig(config.ThothWTSC).BlockSize)
+			now := c.PersistBlock(0, addr, blk)
+			now, _ = c.ReadBlock(now, addr)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now, _ = c.ReadBlock(now, addr)
+			}
+		}},
+		{"micro/persist_steady", func(b *testing.B) {
+			c := mustController(b, config.ThothWTSC)
+			cfg := benchConfig(config.ThothWTSC)
+			blk := make([]byte, cfg.BlockSize)
+			bs := int64(cfg.BlockSize)
+			base := c.Layout().DataBase
+			var now int64
+			for i := int64(0); i < 256; i++ {
+				now = c.PersistBlock(now, base+i%256*bs, blk)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = c.PersistBlock(now, base+int64(i)%256*bs, blk)
+			}
+		}},
+		{"micro/crypt_mac", func(b *testing.B) {
+			e := crypt.NewEngine(1)
+			blk := make([]byte, 128)
+			dst := make([]byte, 8)
+			ctr := crypt.Counter{Major: 3, Minor: 7}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.MACInto(dst, blk, 4096, ctr)
+			}
+		}},
+		{"micro/crypt_xorpad", func(b *testing.B) {
+			e := crypt.NewEngine(1)
+			blk := make([]byte, 128)
+			ctr := crypt.Counter{Major: 3, Minor: 7}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.XorPad(blk, 4096, ctr)
+			}
+		}},
+		{"micro/pub_pack", func(b *testing.B) {
+			cfg := config.Default()
+			entries := make([]pub.Entry, cfg.PartialsPerBlock())
+			out := make([]byte, cfg.BlockSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pub.PackBlockInto(out, entries)
+			}
+		}},
+		{"figure/quick_thoth_btree", func(b *testing.B) {
+			rc := quickRunConfig(config.ThothWTSC, "btree")
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Run(rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"figure/quick_baseline_btree", func(b *testing.B) {
+			rc := quickRunConfig(config.BaselineStrict, "btree")
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Run(rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// measure runs every benchmark reps times and keeps the fastest ns/op
+// (allocations are deterministic; any rep's count is the count).
+func measure() File {
+	out := File{
+		Note:       "benchmark baseline; refresh with `BENCH_UPDATE=1 make bench-json`",
+		Benchmarks: make(map[string]Entry),
+	}
+	for _, bm := range suite() {
+		var best Entry
+		for r := 0; r < reps; r++ {
+			res := testing.Benchmark(bm.fn)
+			e := Entry{
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			if r == 0 || e.NsPerOp < best.NsPerOp {
+				best = e
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %12.1f ns/op %6d allocs/op %8d B/op\n",
+			bm.name, best.NsPerOp, best.AllocsPerOp, best.BytesPerOp)
+		out.Benchmarks[bm.name] = best
+	}
+	return out
+}
+
+// compare checks fresh results against the baseline. It returns one
+// message per violated bound.
+func compare(baseline, fresh File) []string {
+	var bad []string
+	for name, base := range baseline.Benchmarks {
+		got, ok := fresh.Benchmarks[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: benchmark disappeared from the suite", name))
+			continue
+		}
+		if got.AllocsPerOp > base.AllocsPerOp {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %d -> %d (any increase fails)",
+				name, base.AllocsPerOp, got.AllocsPerOp))
+		}
+		tol := nsTolerance
+		if strings.HasPrefix(name, "figure/") {
+			tol = figureNsTolerance
+		}
+		if limit := base.NsPerOp * (1 + tol); got.NsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: ns/op %.1f -> %.1f (>%.0f%% over baseline)",
+				name, base.NsPerOp, got.NsPerOp, 100*tol))
+		}
+	}
+	return bad
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func save(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	update := flag.String("update", "", "measure and overwrite this baseline file")
+	against := flag.String("compare", "", "measure and compare against this baseline file")
+	flag.Parse()
+
+	switch {
+	case *update != "" && *against != "":
+		fmt.Fprintln(os.Stderr, "benchjson: -update and -compare are mutually exclusive")
+		os.Exit(2)
+	case *update != "":
+		if err := save(*update, measure()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written to %s\n", *update)
+	case *against != "":
+		baseline, err := load(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if bad := compare(baseline, measure()); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s:\n", len(bad), *against)
+			for _, m := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
+			fmt.Fprintln(os.Stderr, "intentional change? refresh with: BENCH_UPDATE=1 make bench-json")
+			os.Exit(1)
+		}
+		fmt.Printf("benchmarks within bounds of %s\n", *against)
+	default:
+		data, err := json.MarshalIndent(measure(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	}
+}

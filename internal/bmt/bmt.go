@@ -30,6 +30,13 @@ import (
 )
 
 // Tree is a sparse 8-ary Merkle tree over counter blocks.
+//
+// Counter-block updates are buffered and the affected paths rehashed in
+// one batched bottom-up pass when the root or a node's bytes are next
+// observed. Hashes depend only on the final leaf contents, so the result
+// is identical to eager per-update recomputation, but repeated updates to
+// the same counter block between observations — the common case, since 8
+// data blocks share one counter block — cost one path instead of many.
 type Tree struct {
 	lay *layout.Layout
 	eng *crypt.Engine
@@ -39,6 +46,15 @@ type Tree struct {
 	// nodes[l][j] holds the 8 child hashes of node j at level l.
 	nodes []map[int64]*[layout.TreeArity]uint64
 	root  uint64
+
+	// dirty holds the latest contents of updated counter blocks whose
+	// paths have not been rehashed yet; values are reusable per-index
+	// buffers recycled through free.
+	dirty map[int64][]byte
+	free  [][]byte
+	// pendA/pendB are reusable scratch sets for the level-by-level flush.
+	pendA map[int64]struct{}
+	pendB map[int64]struct{}
 }
 
 // New returns an empty tree (all-zero counters, zero root).
@@ -48,6 +64,9 @@ func New(lay *layout.Layout, eng *crypt.Engine) *Tree {
 		eng:     eng,
 		ctrHash: make(map[int64]uint64),
 		nodes:   make([]map[int64]*[layout.TreeArity]uint64, lay.TreeLevels()),
+		dirty:   make(map[int64][]byte),
+		pendA:   make(map[int64]struct{}),
+		pendB:   make(map[int64]struct{}),
 	}
 	for i := range t.nodes {
 		t.nodes[i] = make(map[int64]*[layout.TreeArity]uint64)
@@ -55,10 +74,14 @@ func New(lay *layout.Layout, eng *crypt.Engine) *Tree {
 	return t
 }
 
-// Root returns the current root hash. Architecturally this register is
-// inside the processor's persistence domain; callers persist it via the
-// control region at crash time.
-func (t *Tree) Root() uint64 { return t.root }
+// Root returns the current root hash, rehashing any buffered updates
+// first. Architecturally this register is inside the processor's
+// persistence domain; callers persist it via the control region at crash
+// time.
+func (t *Tree) Root() uint64 {
+	t.flush()
+	return t.root
+}
 
 // hashCtr computes the hash of one counter block's contents.
 func (t *Tree) hashCtr(ctrIdx int64, data []byte) uint64 {
@@ -96,38 +119,81 @@ func (t *Tree) hashNode(level int, idx int64, n *[layout.TreeArity]uint64) uint6
 	return t.eng.TreeHash(t.lay.TreeNodeAddr(level, idx), buf[:])
 }
 
-// Update recomputes the path from counter block ctrIdx to the root after
-// that block's contents changed, and returns the number of tree levels
-// touched (for latency accounting: one hash per level plus the leaf
-// hash).
+// Update records new contents for counter block ctrIdx (copying data into
+// tree-owned scratch) and returns the number of tree levels the change
+// touches (for latency accounting: one hash per level plus the leaf
+// hash). The rehash itself is deferred to the next Root or NodeBytes.
 func (t *Tree) Update(ctrIdx int64, data []byte) int {
 	if ctrIdx < 0 || ctrIdx >= t.lay.CtrBytes/int64(t.lay.BlockSize) {
 		panic(fmt.Sprintf("bmt: counter index %d out of range", ctrIdx))
 	}
-	h := t.hashCtr(ctrIdx, data)
-	t.ctrHash[ctrIdx] = h
-	child := ctrIdx
-	levels := 0
-	for l := 0; l < len(t.nodes); l++ {
-		parent, slot := layout.TreeParent(child)
-		n := t.nodes[l][parent]
+	buf := t.dirty[ctrIdx]
+	if len(buf) != len(data) {
+		if n := len(t.free); n > 0 && len(t.free[n-1]) == len(data) {
+			buf = t.free[n-1]
+			t.free = t.free[:n-1]
+		} else {
+			buf = make([]byte, len(data))
+		}
+	}
+	copy(buf, data)
+	t.dirty[ctrIdx] = buf
+	return len(t.nodes)
+}
+
+// flush rehashes every buffered counter-block update in one batched
+// bottom-up pass: each dirty leaf is hashed once, then each affected node
+// is hashed once per level. Node hashes depend only on final child
+// values, so the result matches eager per-update recomputation.
+func (t *Tree) flush() {
+	if len(t.dirty) == 0 {
+		return
+	}
+	pend := t.pendA
+	clear(pend)
+	for ctrIdx, data := range t.dirty {
+		h := t.hashCtr(ctrIdx, data)
+		t.ctrHash[ctrIdx] = h
+		parent, slot := layout.TreeParent(ctrIdx)
+		n := t.nodes[0][parent]
 		if n == nil {
 			n = new([layout.TreeArity]uint64)
-			t.nodes[l][parent] = n
+			t.nodes[0][parent] = n
 		}
 		n[slot] = h
-		h = t.hashNode(l, parent, n)
-		child = parent
-		levels++
+		pend[parent] = struct{}{}
+		t.free = append(t.free, data)
 	}
-	t.root = h
-	return levels
+	clear(t.dirty)
+	next := t.pendB
+	for l := 0; l < len(t.nodes); l++ {
+		clear(next)
+		for idx := range pend {
+			h := t.hashNode(l, idx, t.nodes[l][idx])
+			if l == len(t.nodes)-1 {
+				t.root = h
+				continue
+			}
+			parent, slot := layout.TreeParent(idx)
+			n := t.nodes[l+1][parent]
+			if n == nil {
+				n = new([layout.TreeArity]uint64)
+				t.nodes[l+1][parent] = n
+			}
+			n[slot] = h
+			next[parent] = struct{}{}
+		}
+		pend, next = next, pend
+	}
+	t.pendA, t.pendB = pend, next
 }
 
 // NodeBytes returns the persistable contents of a tree node as a full
-// cache block (child hashes in the first 64 bytes, zero padding after).
-// The MT cache writes this to NVM on lazy eviction.
+// cache block (child hashes in the first 64 bytes, zero padding after),
+// rehashing any buffered updates first. The MT cache writes this to NVM
+// on lazy eviction.
 func (t *Tree) NodeBytes(level int, idx int64) []byte {
+	t.flush()
 	out := make([]byte, t.lay.BlockSize)
 	if n := t.nodes[level][idx]; n != nil {
 		for i, h := range n {
@@ -162,9 +228,7 @@ type PathStep struct {
 func Rebuild(lay *layout.Layout, eng *crypt.Engine, dev *nvm.Device) uint64 {
 	t := New(lay, eng)
 	dev.ForEachWritten(lay.CtrBase, lay.CtrBytes, func(addr int64, block []byte) {
-		data := make([]byte, len(block))
-		copy(data, block)
-		t.Update(lay.CtrIndex(addr), data)
+		t.Update(lay.CtrIndex(addr), block)
 	})
 	return t.Root()
 }

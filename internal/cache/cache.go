@@ -161,6 +161,40 @@ func (c *Cache) Insert(addr int64, data []byte) *Line {
 	return &set[victim]
 }
 
+// InsertCopy places a new line for addr holding a copy of src, reusing
+// the evicted victim's Data buffer when one of the right size is
+// available. OnEvict (which runs synchronously before the line is
+// recycled) must not retain the victim's Data slice. This is the
+// fill-path variant for callers reading from borrowed device storage.
+func (c *Cache) InsertCopy(addr int64, src []byte) *Line {
+	set := c.setFor(addr)
+	victim := -1
+	for i := range set {
+		if set[i].valid {
+			if set[i].Addr == addr {
+				panic(fmt.Sprintf("cache: double insert of %#x", addr))
+			}
+			if victim == -1 || set[i].used < set[victim].used {
+				victim = i
+			}
+		} else if victim == -1 || set[victim].valid {
+			victim = i
+		}
+	}
+	if set[victim].valid && c.OnEvict != nil {
+		c.OnEvict(set[victim])
+	}
+	buf := set[victim].Data
+	if len(buf) != len(src) {
+		buf = make([]byte, len(src))
+	}
+	copy(buf, src)
+	c.tick++
+	base := int((addr / int64(c.blockSize)) % int64(c.numSets) * int64(c.ways))
+	set[victim] = Line{Addr: addr, Data: buf, used: c.tick, valid: true, slot: base + victim}
+	return &set[victim]
+}
+
 // Invalidate drops the line for addr without calling OnEvict, returning
 // the line's final state and whether it was present. Used by crash
 // injection (volatile caches lose their contents).

@@ -80,6 +80,19 @@ type Controller struct {
 	// in full.
 	inADRFlush bool
 	nowCycle   int64
+
+	// Hot-path scratch, reused across operations (the controller is
+	// single-threaded). readBuf is the plaintext staging area ReadBlock
+	// returns a borrow of; ctBuf stages ciphertext for PersistBlock;
+	// macBuf holds the first-level MAC; pubBuf and entryBuf stage packed
+	// PUB blocks and their unpacked entries; onPUBRetire is the channel
+	// completion callback, built once.
+	readBuf     []byte
+	ctBuf       []byte
+	macBuf      [32]byte
+	pubBuf      []byte
+	entryBuf    []pub.Entry
+	onPUBRetire func(int64)
 }
 
 // New builds a controller with a fresh device.
@@ -114,8 +127,7 @@ func Attach(cfg config.Config, dev *nvm.Device) (*Controller, error) {
 	// Rebuild the eager tree from the device so the on-chip root matches
 	// the persisted state.
 	dev.ForEachWritten(lay.CtrBase, lay.CtrBytes, func(addr int64, block []byte) {
-		data := append([]byte(nil), block...)
-		c.tree.Update(lay.CtrIndex(addr), data)
+		c.tree.Update(lay.CtrIndex(addr), block)
 	})
 	return c, nil
 }
@@ -140,6 +152,10 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 
 		tr:        cfg.Tracer,
 		schemeTag: cfg.Scheme.String(),
+
+		readBuf: make([]byte, cfg.BlockSize),
+		ctBuf:   make([]byte, cfg.BlockSize),
+		pubBuf:  make([]byte, cfg.BlockSize),
 	}
 	c.tree = bmt.New(lay, c.eng)
 	if cfg.Scheme.IsThoth() {
@@ -151,6 +167,8 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 		}
 		c.pcb = pub.NewPCB(cfg.PCBEntries, cfg.PartialsPerBlock())
 		c.ring = pub.NewRing(lay, dev)
+		c.entryBuf = make([]pub.Entry, 0, cfg.PartialsPerBlock())
+		c.onPUBRetire = func(int64) { c.pcb.CompletePending() }
 		// Eviction starts at the configured occupancy, but always leaves
 		// enough headroom for the crash-time ADR flush of every unposted
 		// PCB block (Section IV-A's duplication trick needs ring space).
@@ -284,7 +302,7 @@ func (c *Controller) fetchCtr(t int64, dataAddr int64) (*cache.Line, int64) {
 	// Verify the fetched counter against the integrity tree: walk the
 	// path until a cached (already verified) node is found.
 	done = c.walkTree(done, c.lay.CtrIndex(ca))
-	l := c.ctrCache.Insert(ca, c.dev.ReadBlock(ca))
+	l := c.ctrCache.InsertCopy(ca, c.dev.View(ca))
 	return l, done
 }
 
@@ -300,7 +318,7 @@ func (c *Controller) fetchMAC(t int64, dataAddr int64) (*cache.Line, int64) {
 	c.st.MACMisses++
 	done := c.mem.Read(t, ma, c.cfg.ReadLatencyCycles())
 	c.st.NVMReads++
-	l := c.macCache.Insert(ma, c.dev.ReadBlock(ma))
+	l := c.macCache.InsertCopy(ma, c.dev.View(ma))
 	return l, done
 }
 

@@ -41,12 +41,13 @@ var evictOutcomeTag = [...]string{
 //     relevant slot was already captured, but never misses one
 //     (Section IV-B).
 func (c *Controller) evictPUBBlock(t int64) {
-	blk, pubAddr := c.ring.Pop()
+	pubAddr := c.ring.PopInto(c.pubBuf)
 	c.mem.Post(pubAddr, sim.Item{Ready: t, Dur: c.cfg.ReadLatencyCycles()})
 	c.st.NVMReads++
 	c.st.PUBEvictions++
 
-	for _, e := range pub.UnpackBlock(c.cfg.BlockSize, blk) {
+	c.entryBuf = pub.UnpackBlockAppend(c.entryBuf[:0], c.cfg.BlockSize, c.pubBuf)
+	for _, e := range c.entryBuf {
 		c.st.PUBEntryEvictions++
 		c.evictCtrPartial(t, pubAddr, e)
 		c.evictMACPartial(t, pubAddr, e)
@@ -119,7 +120,7 @@ func (c *Controller) evictMACPartial(t, pubAddr int64, e pub.Entry) {
 	case !line.Dirty:
 		outcome = stats.EvictCleanCopy
 	default:
-		cached := c.eng.MAC2(macs.Get(line.Data, slot, c.cfg.MACSize()))
+		cached := c.eng.MAC2(macs.Slot(line.Data, slot, c.cfg.MACSize()))
 		switch {
 		case cached != e.MAC2:
 			outcome = stats.EvictStaleCopy

@@ -26,6 +26,10 @@ func (c *Controller) setNow(t int64) {
 // ReadBlock performs a secure demand read of one data block: fetch and
 // verify the counter, read the ciphertext, decrypt, and verify the MAC.
 // It returns the completion cycle and the plaintext.
+//
+// The returned plaintext is a borrow of controller-owned scratch: it is
+// valid until the next controller operation. Callers that need the data
+// past that point copy it out.
 func (c *Controller) ReadBlock(t int64, addr int64) (int64, []byte) {
 	c.checkAlive()
 	c.setNow(t)
@@ -35,30 +39,38 @@ func (c *Controller) ReadBlock(t int64, addr int64) (int64, []byte) {
 	counter := ctr.Counter(ctrLine.Data, slot)
 
 	// Ciphertext read overlaps OTP generation; the later of the two
-	// gates the XOR.
+	// gates the XOR. The view aliases device storage; the fetches below
+	// only ever write other blocks (metadata regions), so it stays
+	// valid through the decrypt.
 	dataDone := c.mem.Read(t, addr, c.cfg.ReadLatencyCycles())
 	c.st.NVMReads++
-	ciphertext := c.dev.ReadBlock(addr)
+	ciphertext := c.dev.View(addr)
 
 	macLine, tm := c.fetchMAC(t, addr)
 	done := max64(max64(tc+c.aesLat(), dataDone), tm) + c.hashLat()
 
-	plain := c.eng.Decrypt(ciphertext, addr, counter)
-	want := c.eng.MAC(ciphertext, addr, counter, c.cfg.MACSize())
-	if !macs.Equal(macLine.Data, c.lay.MACSlot(addr), c.cfg.MACSize(), want) {
+	size := c.cfg.MACSize()
+	want := c.macBuf[:size]
+	c.eng.MACInto(want, ciphertext, addr, counter)
+	if !macs.Equal(macLine.Data, c.lay.MACSlot(addr), size, want) {
 		panic(fmt.Sprintf("core: MAC verification failed reading %#x (integrity violation)", addr))
 	}
+	plain := c.readBuf
+	copy(plain, ciphertext)
+	c.eng.XorPad(plain, addr, counter)
 	return done, plain
 }
 
 // ReadBlockAllowEmpty is ReadBlock for blocks that may never have been
 // written: an unwritten block returns zeros without MAC verification
 // (there is nothing to verify — the allocator would hand out zero-fill
-// pages), while a written block takes the full verified read path.
+// pages), while a written block takes the full verified read path. The
+// same borrowed-scratch contract as ReadBlock applies.
 func (c *Controller) ReadBlockAllowEmpty(t int64, addr int64) (int64, []byte) {
 	c.checkAlive()
 	if !c.dev.Written(addr) {
-		return t, make([]byte, c.cfg.BlockSize)
+		clear(c.readBuf)
+		return t, c.readBuf
 	}
 	return c.ReadBlock(t, addr)
 }
@@ -104,12 +116,13 @@ func (c *Controller) PersistBlock(t int64, addr int64, plain []byte) int64 {
 	// newest counters (the Anubis-style persistent root both schemes
 	// rely on for recovery verification).
 	ctrIdx := c.lay.CtrIndex(c.lay.CtrBlockAddr(addr))
-	treeData := append([]byte(nil), ctrLine.Data...)
-	c.tree.Update(ctrIdx, treeData)
+	c.tree.Update(ctrIdx, ctrLine.Data)
 	c.markTreeDirty(ctrIdx)
 
-	ciphertext := c.eng.Encrypt(plain, addr, counter)
-	mac1 := c.eng.MAC(ciphertext, addr, counter, c.cfg.MACSize())
+	ciphertext := c.ctBuf
+	c.eng.EncryptInto(ciphertext, plain, addr, counter)
+	mac1 := c.macBuf[:c.cfg.MACSize()]
+	c.eng.MACInto(mac1, ciphertext, addr, counter)
 	macs.Set(macLine.Data, c.lay.MACSlot(addr), c.cfg.MACSize(), mac1)
 
 	// Crypto critical path: OTP generation + first-level MAC + the
@@ -252,13 +265,12 @@ func (c *Controller) postPUBBlock(t int64, entries []pub.Entry) int64 {
 	for c.ring.Len() >= c.evictBlocks || c.ring.Full() {
 		c.evictPUBBlock(t)
 	}
-	packed := pub.PackBlock(c.cfg.BlockSize, entries)
-	pubAddr := c.ring.Push(packed)
+	pub.PackBlockInto(c.pubBuf, entries)
+	pubAddr := c.ring.Push(c.pubBuf)
+	c.pcb.Recycle(entries)
 	c.emit(obs.KindPCBFlush, t, pubAddr, int64(len(entries)), "", "")
 	c.pcb.AddPending()
-	c.mem.Post(pubAddr, sim.Item{Ready: t, Dur: c.cfg.WriteLatencyCycles(), Done: func(int64) {
-		c.pcb.CompletePending()
-	}})
+	c.mem.Post(pubAddr, sim.Item{Ready: t, Dur: c.cfg.WriteLatencyCycles(), Done: c.onPUBRetire})
 	c.st.AddWrite(stats.WritePCB)
 	return t
 }
@@ -317,7 +329,7 @@ func (c *Controller) reencryptPage(t int64, addr int64, ctrLine *cache.Line) int
 	ctrLine.Mask = 0
 
 	ctrIdx := c.lay.CtrIndex(c.lay.CtrBlockAddr(addr))
-	c.tree.Update(ctrIdx, append([]byte(nil), ctrLine.Data...))
+	c.tree.Update(ctrIdx, ctrLine.Data)
 	return t
 }
 

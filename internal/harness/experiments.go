@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/obs"
@@ -131,12 +132,17 @@ func (e *Experiments) get(rc RunConfig) (*Result, error) {
 	return r, nil
 }
 
-// prefetch executes a batch of runs in parallel.
+// prefetch executes a batch of runs in parallel. The first failure
+// cancels the rest of the batch: runs not yet dispatched are skipped,
+// and already-dispatched workers bail out before starting their
+// simulation, so one poisoned configuration does not burn minutes
+// executing the remaining matrix before the error surfaces.
 func (e *Experiments) prefetch(rcs []RunConfig) error {
 	sem := make(chan struct{}, e.Workers)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var failed atomic.Bool
 	seen := map[string]bool{}
 	for _, rc := range rcs {
 		k := key(rc)
@@ -144,12 +150,19 @@ func (e *Experiments) prefetch(rcs []RunConfig) error {
 			continue
 		}
 		seen[k] = true
+		if failed.Load() {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(rc RunConfig) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if failed.Load() {
+				return
+			}
 			if _, err := e.get(rc); err != nil {
+				failed.Store(true)
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -162,16 +175,22 @@ func (e *Experiments) prefetch(rcs []RunConfig) error {
 	return firstErr
 }
 
-// gmean returns the geometric mean of positive values.
-func gmean(vs []float64) float64 {
+// gmean returns the geometric mean of the values. Every value must be
+// positive and finite: math.Log of a zero or negative speedup yields
+// -Inf or NaN, which used to flow straight into the report as "NaN"
+// instead of failing the experiment.
+func gmean(vs []float64) (float64, error) {
 	if len(vs) == 0 {
-		return 0
+		return 0, fmt.Errorf("gmean: no values")
 	}
 	sum := 0.0
-	for _, v := range vs {
+	for i, v := range vs {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("gmean: value %d is %v, need positive finite values", i, v)
+		}
 		sum += math.Log(v)
 	}
-	return math.Exp(sum / float64(len(vs)))
+	return math.Exp(sum / float64(len(vs))), nil
 }
 
 // mean returns the arithmetic mean.
@@ -292,7 +311,11 @@ func (e *Experiments) Fig8() error {
 	}
 	fmt.Fprintf(e.Out, "%-10s", "gmean")
 	for i := range cols {
-		fmt.Fprintf(e.Out, " %14.3f", gmean(sums[i]))
+		g, err := gmean(sums[i])
+		if err != nil {
+			return fmt.Errorf("fig8 %s/%v: %w", "speedup", cols[i].scheme, err)
+		}
+		fmt.Fprintf(e.Out, " %14.3f", g)
 	}
 	fmt.Fprintf(e.Out, "\n(paper averages: 1.22x at 128B, 1.16x at 256B; swap ~1.0x)\n")
 	return nil
@@ -401,7 +424,11 @@ func (e *Experiments) Fig10() error {
 		}
 		fmt.Fprintf(e.Out, "%-10s", "gmean")
 		for i := range sums {
-			fmt.Fprintf(e.Out, " %9.3f", gmean(sums[i]))
+			g, err := gmean(sums[i])
+			if err != nil {
+				return fmt.Errorf("fig10 blk=%d: %w", blk, err)
+			}
+			fmt.Fprintf(e.Out, " %9.3f", g)
 		}
 		fmt.Fprintln(e.Out)
 	}
@@ -518,7 +545,11 @@ func (e *Experiments) Fig11() error {
 		}
 		fmt.Fprintf(e.Out, "%-10s", "gmean")
 		for i := range sums {
-			fmt.Fprintf(e.Out, " %10.3f", gmean(sums[i]))
+			g, err := gmean(sums[i])
+			if err != nil {
+				return fmt.Errorf("fig11 blk=%d: %w", blk, err)
+			}
+			fmt.Fprintf(e.Out, " %10.3f", g)
 		}
 		fmt.Fprintln(e.Out)
 	}
@@ -567,7 +598,11 @@ func (e *Experiments) Fig12() error {
 		}
 		fmt.Fprintf(e.Out, "%-10s", "gmean")
 		for i := range sums {
-			fmt.Fprintf(e.Out, " %10.3f", gmean(sums[i]))
+			g, err := gmean(sums[i])
+			if err != nil {
+				return fmt.Errorf("fig12 blk=%d: %w", blk, err)
+			}
+			fmt.Fprintf(e.Out, " %10.3f", g)
 		}
 		fmt.Fprintln(e.Out)
 	}
@@ -780,7 +815,15 @@ func (e *Experiments) Arrangement() error {
 		fmt.Fprintf(e.Out, "%-10s %16.3f %16.3f %14d %14d\n",
 			wl, b, a, before.Stats.TotalWrites(), after.Stats.TotalWrites())
 	}
-	fmt.Fprintf(e.Out, "%-10s %16.3f %16.3f\n", "gmean", gmean(sb), gmean(sa))
+	gb, err := gmean(sb)
+	if err != nil {
+		return fmt.Errorf("arrangement before-WPQ: %w", err)
+	}
+	ga, err := gmean(sa)
+	if err != nil {
+		return fmt.Errorf("arrangement after-WPQ: %w", err)
+	}
+	fmt.Fprintf(e.Out, "%-10s %16.3f %16.3f\n", "gmean", gb, ga)
 	fmt.Fprintf(e.Out, "(paper: the augmented before-arrangement performs similarly to after-WPQ)\n")
 	return nil
 }

@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/config"
 	"repro/internal/recovery"
+	"repro/internal/workload"
 )
 
 // tinyScale makes every experiment generator finish in well under a
@@ -129,13 +131,63 @@ func TestRunnerCrashMidStream(t *testing.T) {
 }
 
 func TestGmeanAndMean(t *testing.T) {
-	if got := gmean([]float64{2, 8}); got != 4 {
+	got, err := gmean([]float64{2, 8})
+	if err != nil {
+		t.Fatalf("gmean(2,8): %v", err)
+	}
+	if got != 4 {
 		t.Errorf("gmean(2,8) = %g, want 4", got)
 	}
 	if got := mean([]float64{1, 2, 3}); got != 2 {
 		t.Errorf("mean = %g, want 2", got)
 	}
-	if gmean(nil) != 0 || mean(nil) != 0 {
-		t.Error("empty aggregates must be 0")
+	if mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+}
+
+func TestGmeanRejectsNonPositiveAndNonFinite(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{},
+		{1, 0, 2},                 // zero cycles ratio: Log(0) = -Inf
+		{1, -3},                   // negative
+		{1, math.NaN()},           // poisoned upstream division
+		{1, math.Inf(1)},          // division by zero cycles
+		{2, 8, math.Inf(-1), 0.5}, // mixed
+	}
+	for _, vs := range bad {
+		if g, err := gmean(vs); err == nil {
+			t.Errorf("gmean(%v) = %g, want error", vs, g)
+		}
+	}
+}
+
+// TestPrefetchShortCircuitsOnError pins the cancellation behavior: one
+// poisoned configuration at the head of a batch must stop the remaining
+// matrix from executing instead of burning through every run before the
+// error surfaces.
+func TestPrefetchShortCircuitsOnError(t *testing.T) {
+	e := NewExperiments(tinyScale(), &syncWriter{})
+	e.Workers = 1 // deterministic dispatch order: the bad run fails first
+	cfg := tinyScale().apply(config.Default().WithScheme(config.ThothWTSC))
+
+	rcs := []RunConfig{e.runConfig(cfg, "no-such-workload")}
+	for _, wl := range workload.Names() {
+		for _, tx := range []int{128, 512, 1024, 2048} {
+			rcs = append(rcs, e.runConfig(tinyScale().apply(config.Default().WithTxSize(tx)), wl))
+		}
+	}
+
+	if err := e.prefetch(rcs); err == nil {
+		t.Fatal("poisoned batch must return an error")
+	}
+	// Successful runs are memoized; with cancellation none of the valid
+	// runs behind the failure may have executed.
+	e.mu.Lock()
+	n := len(e.cache)
+	e.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("prefetch kept running after the failure: %d runs executed", n)
 	}
 }

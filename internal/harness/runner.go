@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/config"
@@ -74,6 +75,7 @@ type Runner struct {
 	bs        int64
 	versions  map[int64]uint64
 	persisted map[int64]bool
+	blockBuf  []byte // reused by blockBytes; one borrow live at a time
 
 	streams []workload.Workload
 	txCount int64
@@ -142,15 +144,27 @@ func (r *Runner) Controller() *core.Controller { return r.ctl }
 func (r *Runner) Now() int64 { return r.now }
 
 // blockBytes materializes the current plaintext of a block from the
-// version model: deterministic, distinct per (address, version).
+// version model: deterministic, distinct per (address, version). The
+// returned slice is runner-owned scratch, overwritten by the next call;
+// the single-threaded drive loop never holds two borrows at once.
 func (r *Runner) blockBytes(addr int64) []byte {
-	out := make([]byte, r.bs)
+	if r.blockBuf == nil {
+		r.blockBuf = make([]byte, r.bs)
+	}
+	out := r.blockBuf
 	x := uint64(addr)*0x9E3779B97F4A7C15 + r.versions[addr]*0xBF58476D1CE4E5B9 + 1
-	for i := 0; i < len(out); i += 8 {
+	i := 0
+	for ; i+8 <= len(out); i += 8 {
 		x ^= x << 13
 		x ^= x >> 7
 		x ^= x << 17
-		for j := 0; j < 8 && i+j < len(out); j++ {
+		binary.LittleEndian.PutUint64(out[i:], x)
+	}
+	if i < len(out) {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		for j := 0; i+j < len(out); j++ {
 			out[i+j] = byte(x >> (8 * j))
 		}
 	}

@@ -13,6 +13,14 @@ func Get(block []byte, slot, macSize int) []byte {
 	return out
 }
 
+// Slot returns the MAC in the given slot as a subslice of block — no
+// copy. The result aliases block: it is only valid until the block is
+// next modified.
+func Slot(block []byte, slot, macSize int) []byte {
+	lo, hi := bounds(block, slot, macSize)
+	return block[lo:hi:hi]
+}
+
 // Set stores mac (exactly macSize bytes) into the given slot.
 func Set(block []byte, slot, macSize int, mac []byte) {
 	if len(mac) != macSize {

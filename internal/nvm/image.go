@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // Image serialization: a device's contents can be saved to and restored
@@ -36,24 +35,27 @@ func (d *Device) Save(w io.Writer) error {
 	binary.LittleEndian.PutUint32(hdr[8:12], imageVersion)
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(d.blockSize))
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(d.capacity))
-	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(d.blocks)))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(d.writtenCount()))
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("nvm: save header: %w", err)
 	}
-	idxs := make([]int64, 0, len(d.blocks))
-	for idx := range d.blocks {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	var ib [8]byte
-	for _, idx := range idxs {
+	var werr error
+	d.forEachWrittenIdx(0, d.capacity/int64(d.blockSize), func(idx int64) {
+		if werr != nil {
+			return
+		}
 		binary.LittleEndian.PutUint64(ib[:], uint64(idx))
 		if _, err := bw.Write(ib[:]); err != nil {
-			return fmt.Errorf("nvm: save block index: %w", err)
+			werr = fmt.Errorf("nvm: save block index: %w", err)
+			return
 		}
-		if _, err := bw.Write(d.blocks[idx]); err != nil {
-			return fmt.Errorf("nvm: save block: %w", err)
+		if _, err := bw.Write(d.pageOf(idx).blockSlice(idx, d.blockSize)); err != nil {
+			werr = fmt.Errorf("nvm: save block: %w", err)
 		}
+	})
+	if werr != nil {
+		return werr
 	}
 	return bw.Flush()
 }
@@ -95,7 +97,7 @@ func LoadImage(r io.Reader) (*Device, error) {
 		if _, err := io.ReadFull(br, b); err != nil {
 			return nil, fmt.Errorf("nvm: load block contents: %w", err)
 		}
-		d.blocks[idx] = b
+		d.setBlock(idx, b)
 	}
 	return d, nil
 }

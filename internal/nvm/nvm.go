@@ -1,24 +1,44 @@
-// Package nvm models the non-volatile memory module: a byte-accurate,
-// sparse backing store addressed at cache-block granularity, with write
-// (wear) accounting used for the paper's lifetime arguments.
+// Package nvm models the non-volatile memory module: a byte-accurate
+// backing store addressed at cache-block granularity, with write (wear)
+// accounting used for the paper's lifetime arguments.
 //
 // The device is purely functional; timing lives in internal/sim. Contents
 // survive "crashes" by construction — a crash in this model is simply the
 // loss of all volatile state (caches, in-flight metadata), after which
 // recovery operates directly on the device.
+//
+// Storage is paged: blocks live in fixed-size pages (PageBlocks blocks
+// each) allocated on first write, with a dense page-pointer table indexed
+// by address. The controller's steady-state loop therefore performs no
+// per-access allocation and no map lookups: View and ReadBlockInto borrow
+// or copy straight out of page storage. Page data arrays are never
+// reallocated once created, so a slice returned by View stays valid for
+// the lifetime of the device — its *contents* change on the next
+// WriteBlock to that block, which is exactly the aliasing a real memory
+// module exhibits.
 package nvm
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
+
+// PageBlocks is the number of blocks per storage page (a power of two).
+// It is an implementation granularity, not an architectural parameter:
+// first-touch allocation happens per page, wear and written-bit tracking
+// stay per block.
+const PageBlocks = 64
+
+// page is one storage page: PageBlocks blocks of data, per-block wear
+// counters, and a written bitmap (one bit per block).
+type page struct {
+	data    []byte
+	wear    []int64
+	written uint64
+}
 
 // Device is one NVM module.
 type Device struct {
 	blockSize int
 	capacity  int64
-	blocks    map[int64][]byte // block index -> block contents
-	wear      map[int64]int64  // block index -> write count
+	pages     []*page // dense, indexed by blockIndex/PageBlocks; nil = untouched
 
 	// TotalWrites counts every block write since construction (or the
 	// last ResetWear), regardless of address.
@@ -34,11 +54,12 @@ func New(capacity int64, blockSize int) *Device {
 	if blockSize <= 0 || capacity <= 0 || capacity%int64(blockSize) != 0 {
 		panic(fmt.Sprintf("nvm: invalid geometry capacity=%d blockSize=%d", capacity, blockSize))
 	}
+	numBlocks := capacity / int64(blockSize)
+	numPages := (numBlocks + PageBlocks - 1) / PageBlocks
 	return &Device{
 		blockSize: blockSize,
 		capacity:  capacity,
-		blocks:    make(map[int64][]byte),
-		wear:      make(map[int64]int64),
+		pages:     make([]*page, numPages),
 	}
 }
 
@@ -58,16 +79,74 @@ func (d *Device) index(addr int64) int64 {
 	return addr / int64(d.blockSize)
 }
 
-// ReadBlock returns a copy of the block at the given block-aligned byte
-// address. Never-written blocks read as zeros (NVM modules ship zeroed in
-// this model).
-func (d *Device) ReadBlock(addr int64) []byte {
+// pageOf returns the page holding block idx, or nil if never written.
+func (d *Device) pageOf(idx int64) *page {
+	return d.pages[idx/PageBlocks]
+}
+
+// ensurePage returns the page holding block idx, allocating it on first
+// touch.
+func (d *Device) ensurePage(idx int64) *page {
+	pi := idx / PageBlocks
+	p := d.pages[pi]
+	if p == nil {
+		p = &page{
+			data: make([]byte, PageBlocks*d.blockSize),
+			wear: make([]int64, PageBlocks),
+		}
+		d.pages[pi] = p
+	}
+	return p
+}
+
+// blockSlice returns the storage slice for block idx within its page.
+func (p *page) blockSlice(idx int64, blockSize int) []byte {
+	off := (idx % PageBlocks) * int64(blockSize)
+	return p.data[off : off+int64(blockSize) : off+int64(blockSize)]
+}
+
+// View returns the device's own storage for the block at the given
+// block-aligned byte address, counting one device read. The slice is
+// read-only by contract and aliases the module: it stays valid
+// indefinitely, but its contents change when the block is next written.
+// Never-written blocks view as zeros.
+var zeroView []byte
+
+func (d *Device) View(addr int64) []byte {
 	idx := d.index(addr)
 	d.TotalReads++
-	out := make([]byte, d.blockSize)
-	if b, ok := d.blocks[idx]; ok {
-		copy(out, b)
+	if p := d.pageOf(idx); p != nil {
+		return p.blockSlice(idx, d.blockSize)
 	}
+	if len(zeroView) < d.blockSize {
+		zeroView = make([]byte, d.blockSize)
+	}
+	return zeroView[:d.blockSize]
+}
+
+// ReadBlockInto copies the block at the given block-aligned byte address
+// into dst (which must be exactly one block long), counting one device
+// read. Never-written blocks read as zeros.
+func (d *Device) ReadBlockInto(dst []byte, addr int64) {
+	if len(dst) != d.blockSize {
+		panic(fmt.Sprintf("nvm: read into %d bytes, block size is %d", len(dst), d.blockSize))
+	}
+	idx := d.index(addr)
+	d.TotalReads++
+	if p := d.pageOf(idx); p != nil {
+		copy(dst, p.blockSlice(idx, d.blockSize))
+		return
+	}
+	clear(dst)
+}
+
+// ReadBlock returns a copy of the block at the given block-aligned byte
+// address. Never-written blocks read as zeros (NVM modules ship zeroed in
+// this model). Hot paths use View or ReadBlockInto instead; ReadBlock
+// allocates its result.
+func (d *Device) ReadBlock(addr int64) []byte {
+	out := make([]byte, d.blockSize)
+	d.ReadBlockInto(out, addr)
 	return out
 }
 
@@ -76,8 +155,8 @@ func (d *Device) ReadBlock(addr int64) []byte {
 func (d *Device) Peek(addr int64) []byte {
 	idx := d.index(addr)
 	out := make([]byte, d.blockSize)
-	if b, ok := d.blocks[idx]; ok {
-		copy(out, b)
+	if p := d.pageOf(idx); p != nil {
+		copy(out, p.blockSlice(idx, d.blockSize))
 	}
 	return out
 }
@@ -89,14 +168,20 @@ func (d *Device) WriteBlock(addr int64, data []byte) {
 		panic(fmt.Sprintf("nvm: write of %d bytes, block size is %d", len(data), d.blockSize))
 	}
 	idx := d.index(addr)
-	b, ok := d.blocks[idx]
-	if !ok {
-		b = make([]byte, d.blockSize)
-		d.blocks[idx] = b
-	}
-	copy(b, data)
-	d.wear[idx]++
+	p := d.ensurePage(idx)
+	copy(p.blockSlice(idx, d.blockSize), data)
+	slot := idx % PageBlocks
+	p.written |= 1 << uint(slot)
+	p.wear[slot]++
 	d.TotalWrites++
+}
+
+// setBlock stores contents without touching wear or write counters
+// (image loading).
+func (d *Device) setBlock(idx int64, data []byte) {
+	p := d.ensurePage(idx)
+	copy(p.blockSlice(idx, d.blockSize), data)
+	p.written |= 1 << uint(idx%PageBlocks)
 }
 
 // ReadRange copies n bytes starting at an arbitrary (unaligned) byte
@@ -115,7 +200,8 @@ func (d *Device) ReadRange(addr int64, n int) []byte {
 		if rem := int64(n) - off; take > rem {
 			take = rem
 		}
-		if b, ok := d.blocks[idx]; ok {
+		if p := d.pageOf(idx); p != nil && p.written&(1<<uint(idx%PageBlocks)) != 0 {
+			b := p.blockSlice(idx, d.blockSize)
 			copy(out[off:off+take], b[in:in+take])
 		}
 		off += take
@@ -123,54 +209,87 @@ func (d *Device) ReadRange(addr int64, n int) []byte {
 	return out
 }
 
+// forEachWrittenIdx visits every ever-written block index in [lo,hi), in
+// ascending order.
+func (d *Device) forEachWrittenIdx(lo, hi int64, fn func(idx int64)) {
+	for pi := lo / PageBlocks; pi*PageBlocks < hi && pi < int64(len(d.pages)); pi++ {
+		p := d.pages[pi]
+		if p == nil || p.written == 0 {
+			continue
+		}
+		base := pi * PageBlocks
+		for s := int64(0); s < PageBlocks; s++ {
+			idx := base + s
+			if idx < lo || idx >= hi {
+				continue
+			}
+			if p.written&(1<<uint(s)) != 0 {
+				fn(idx)
+			}
+		}
+	}
+}
+
 // ForEachWritten visits every ever-written block whose address falls in
 // [base, base+size), in ascending address order. Recovery uses this to
 // rebuild integrity state over the counter region without scanning the
-// full (sparse) address space.
+// full (sparse) address space. The block slice is borrowed device
+// storage: callers must not retain it across writes.
 func (d *Device) ForEachWritten(base, size int64, fn func(addr int64, block []byte)) {
 	if base < 0 || size < 0 || base+size > d.capacity {
 		panic(fmt.Sprintf("nvm: region [%#x,+%d) out of bounds", base, size))
 	}
 	bs := int64(d.blockSize)
-	lo, hi := base/bs, (base+size)/bs
-	idxs := make([]int64, 0, 64)
-	for idx := range d.blocks {
-		if idx >= lo && idx < hi {
-			idxs = append(idxs, idx)
-		}
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	for _, idx := range idxs {
-		fn(idx*bs, d.blocks[idx])
-	}
+	d.forEachWrittenIdx(base/bs, (base+size)/bs, func(idx int64) {
+		fn(idx*bs, d.pageOf(idx).blockSlice(idx, d.blockSize))
+	})
 }
 
 // Written reports whether the block at addr has ever been written.
 func (d *Device) Written(addr int64) bool {
-	_, ok := d.blocks[d.index(addr)]
-	return ok
+	idx := d.index(addr)
+	p := d.pageOf(idx)
+	return p != nil && p.written&(1<<uint(idx%PageBlocks)) != 0
 }
 
 // Wear returns the write count of the block holding addr.
-func (d *Device) Wear(addr int64) int64 { return d.wear[d.index(addr)] }
+func (d *Device) Wear(addr int64) int64 {
+	idx := d.index(addr)
+	if p := d.pageOf(idx); p != nil {
+		return p.wear[idx%PageBlocks]
+	}
+	return 0
+}
 
 // MaxWear returns the highest per-block write count and how many blocks
-// were ever written. The ratio of TotalWrites to written blocks versus
-// MaxWear indicates wear skew (NVM lifetime is limited by the hottest
-// block).
+// were written since construction or the last ResetWear. The ratio of
+// TotalWrites to written blocks versus MaxWear indicates wear skew (NVM
+// lifetime is limited by the hottest block).
 func (d *Device) MaxWear() (maxWrites int64, blocksWritten int) {
-	for _, w := range d.wear {
-		if w > maxWrites {
-			maxWrites = w
+	for _, p := range d.pages {
+		if p == nil {
+			continue
+		}
+		for _, w := range p.wear {
+			if w > 0 {
+				blocksWritten++
+			}
+			if w > maxWrites {
+				maxWrites = w
+			}
 		}
 	}
-	return maxWrites, len(d.wear)
+	return maxWrites, blocksWritten
 }
 
 // ResetWear zeroes all wear accounting (used between warm-up and the
 // measured phase of an experiment).
 func (d *Device) ResetWear() {
-	d.wear = make(map[int64]int64)
+	for _, p := range d.pages {
+		if p != nil {
+			clear(p.wear)
+		}
+	}
 	d.TotalWrites = 0
 	d.TotalReads = 0
 }
@@ -180,17 +299,36 @@ func (d *Device) ResetWear() {
 // recovery procedure did not corrupt unrelated state.
 func (d *Device) Clone() *Device {
 	c := New(d.capacity, d.blockSize)
-	for idx, b := range d.blocks {
-		nb := make([]byte, d.blockSize)
-		copy(nb, b)
-		c.blocks[idx] = nb
-	}
-	for idx, w := range d.wear {
-		c.wear[idx] = w
+	for pi, p := range d.pages {
+		if p == nil {
+			continue
+		}
+		np := &page{
+			data:    append([]byte(nil), p.data...),
+			wear:    append([]int64(nil), p.wear...),
+			written: p.written,
+		}
+		c.pages[pi] = np
 	}
 	c.TotalWrites = d.TotalWrites
 	c.TotalReads = d.TotalReads
 	return c
+}
+
+// writtenCount returns the number of ever-written blocks.
+func (d *Device) writtenCount() int64 {
+	var n int64
+	for _, p := range d.pages {
+		if p == nil {
+			continue
+		}
+		w := p.written
+		for w != 0 {
+			w &= w - 1
+			n++
+		}
+	}
+	return n
 }
 
 // Equal reports whether two devices have identical contents (wear and
@@ -200,19 +338,28 @@ func (d *Device) Equal(o *Device) bool {
 		return false
 	}
 	check := func(a, b *Device) bool {
-		for idx, ab := range a.blocks {
-			bb := b.blocks[idx]
+		ok := true
+		a.forEachWrittenIdx(0, a.capacity/int64(a.blockSize), func(idx int64) {
+			if !ok {
+				return
+			}
+			ab := a.pageOf(idx).blockSlice(idx, a.blockSize)
+			var bb []byte
+			if p := b.pageOf(idx); p != nil && p.written&(1<<uint(idx%PageBlocks)) != 0 {
+				bb = p.blockSlice(idx, b.blockSize)
+			}
 			for i, v := range ab {
 				var w byte
 				if bb != nil {
 					w = bb[i]
 				}
 				if v != w {
-					return false
+					ok = false
+					return
 				}
 			}
-		}
-		return true
+		})
+		return ok
 	}
 	return check(d, o) && check(o, d)
 }

@@ -62,13 +62,23 @@ func EntriesPerBlock(blockSize int) int {
 // PackBlock serializes entries into one cache block. len(entries) must
 // equal EntriesPerBlock(blockSize); callers with a partially filled set
 // (crash while coalescing, Section IV-A) duplicate existing entries to
-// fill the block first — see FillByDuplication.
+// fill the block first — see FillByDuplication. The result is freshly
+// allocated; hot paths use PackBlockInto.
 func PackBlock(blockSize int, entries []Entry) []byte {
+	out := make([]byte, blockSize)
+	PackBlockInto(out, entries)
+	return out
+}
+
+// PackBlockInto serializes entries into out, which must be exactly one
+// cache block; out is zeroed first so reused buffers carry no stale bits.
+func PackBlockInto(out []byte, entries []Entry) {
+	blockSize := len(out)
 	n := EntriesPerBlock(blockSize)
 	if len(entries) != n {
 		panic(fmt.Sprintf("pub: packing %d entries, block holds %d", len(entries), n))
 	}
-	out := make([]byte, blockSize)
+	clear(out)
 	for i, e := range entries {
 		base := i * config.PartialEntryBits
 		if e.Minor > crypt.MinorMax {
@@ -82,26 +92,31 @@ func PackBlock(blockSize int, entries []Entry) []byte {
 		bitpack.Set(out, base+offMinor, 7, uint64(e.Minor))
 		bitpack.Set(out, base+offStatus, 2, uint64(e.Status))
 	}
-	return out
 }
 
-// UnpackBlock deserializes a packed PUB block.
+// UnpackBlock deserializes a packed PUB block. The result is freshly
+// allocated; hot paths use UnpackBlockAppend.
 func UnpackBlock(blockSize int, block []byte) []Entry {
+	return UnpackBlockAppend(nil, blockSize, block)
+}
+
+// UnpackBlockAppend deserializes a packed PUB block, appending the
+// entries to dst (pass a reused dst[:0] to avoid allocation).
+func UnpackBlockAppend(dst []Entry, blockSize int, block []byte) []Entry {
 	if len(block) != blockSize {
 		panic(fmt.Sprintf("pub: unpacking %d bytes, block size is %d", len(block), blockSize))
 	}
 	n := EntriesPerBlock(blockSize)
-	out := make([]Entry, n)
-	for i := range out {
+	for i := 0; i < n; i++ {
 		base := i * config.PartialEntryBits
-		out[i] = Entry{
+		dst = append(dst, Entry{
 			MAC2:       bitpack.Get(block, base+offMAC2, 64),
 			BlockIndex: uint32(bitpack.Get(block, base+offAddr, 32)),
 			Minor:      uint8(bitpack.Get(block, base+offMinor, 7)),
 			Status:     uint8(bitpack.Get(block, base+offStatus, 2)),
-		}
+		})
 	}
-	return out
+	return dst
 }
 
 // FillByDuplication pads a partially filled entry set to exactly n

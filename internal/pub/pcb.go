@@ -26,6 +26,9 @@ type PCB struct {
 	// partially filled (the active accumulator).
 	unposted [][]Entry
 	pending  int // posted blocks whose PUB write has not retired
+	// free recycles entry slices whose packed block has been posted, so
+	// steady-state posting allocates nothing.
+	free [][]Entry
 
 	// Merged and Inserted count partial updates that coalesced into an
 	// existing entry versus consumed a new one (Table III).
@@ -105,7 +108,14 @@ func (p *PCB) Append(e Entry) {
 		if p.Occupancy() >= p.slots {
 			panic("pub: Append on full PCB")
 		}
-		p.unposted = append(p.unposted, make([]Entry, 0, p.perBlock))
+		var blk []Entry
+		if n := len(p.free); n > 0 {
+			blk = p.free[n-1]
+			p.free = p.free[:n-1]
+		} else {
+			blk = make([]Entry, 0, p.perBlock)
+		}
+		p.unposted = append(p.unposted, blk)
 	}
 	n := len(p.unposted)
 	p.unposted[n-1] = append(p.unposted[n-1], e)
@@ -130,8 +140,16 @@ func (p *PCB) PopPostable() []Entry {
 		return nil
 	}
 	blk := p.unposted[0]
-	p.unposted = p.unposted[1:]
+	copy(p.unposted, p.unposted[1:])
+	p.unposted = p.unposted[:len(p.unposted)-1]
 	return blk
+}
+
+// Recycle returns a popped block's entry slice to the freelist once its
+// contents have been packed and posted. The caller must not use the
+// slice afterwards.
+func (p *PCB) Recycle(blk []Entry) {
+	p.free = append(p.free, blk[:0])
 }
 
 // AddPending marks one slot as occupied by an in-flight PUB write.

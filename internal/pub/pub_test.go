@@ -1,6 +1,7 @@
 package pub
 
 import (
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 
@@ -201,6 +202,120 @@ func TestRingCtlRoundTrip(t *testing.T) {
 	}
 	if r2.Len() != 4 {
 		t.Fatal("PeekAll must not consume")
+	}
+}
+
+// TestRingWrapAroundSustained drives the ring through several full laps
+// of its physical capacity with a live window that straddles the wrap
+// boundary, checking FIFO order, PeekAll, and — the crash-consistency
+// half — that SaveCtl/LoadCtl round-trip the wrapped sequence numbers
+// and a recovery-style scan-and-merge over the restored ring sees every
+// live entry oldest-first.
+func TestRingWrapAroundSustained(t *testing.T) {
+	r, lay, dev := newRing(t)
+	capacity := r.Capacity()
+	n := EntriesPerBlock(128)
+
+	mkBlock := func(seq int64) []byte {
+		es := make([]Entry, n)
+		for j := range es {
+			es[j] = Entry{
+				BlockIndex: uint32(seq)*64 + uint32(j),
+				MAC2:       uint64(seq)<<8 | uint64(j),
+				Minor:      uint8(seq % 128),
+			}
+		}
+		return PackBlock(128, es)
+	}
+	checkBlock := func(blk []byte, seq int64) {
+		t.Helper()
+		es := UnpackBlock(128, blk)
+		if es[0].BlockIndex != uint32(seq)*64 || es[0].Minor != uint8(seq%128) {
+			t.Fatalf("block for seq %d holds entry %+v", seq, es[0])
+		}
+	}
+
+	var pushSeq, popSeq int64
+	push := func() { r.Push(mkBlock(pushSeq)); pushSeq++ }
+	pop := func() {
+		t.Helper()
+		blk, addr := r.Pop()
+		if addr < lay.PUBBase || addr >= lay.PUBBase+lay.PUBBytes {
+			t.Fatalf("pop address %#x outside the PUB region", addr)
+		}
+		checkBlock(blk, popSeq)
+		popSeq++
+	}
+
+	for i := int64(0); i < 5; i++ {
+		push()
+	}
+	for lap := int64(0); lap < 5; lap++ {
+		for i := int64(0); i < capacity; i++ {
+			push()
+			pop()
+		}
+	}
+	if pushSeq < 4*capacity {
+		t.Fatalf("test must wrap several times: pushed %d blocks, capacity %d", pushSeq, capacity)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+
+	// PeekAll returns the live window oldest-first without consuming.
+	peek := r.PeekAll()
+	if int64(len(peek)) != r.Len() {
+		t.Fatalf("PeekAll = %d blocks, want %d", len(peek), r.Len())
+	}
+	for i, blk := range peek {
+		checkBlock(blk, popSeq+int64(i))
+	}
+
+	// Persist the wrapped bounds (both well past capacity), restore into
+	// a fresh ring over the same device, and merge like recovery does:
+	// oldest entry to youngest, later occurrences winning.
+	r.SaveCtl()
+	r2 := NewRing(lay, dev)
+	if err := r2.LoadCtl(); err != nil {
+		t.Fatalf("LoadCtl of wrapped bounds: %v", err)
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("restored Len = %d, want %d", r2.Len(), r.Len())
+	}
+	merged := map[uint32]Entry{}
+	for _, blk := range r2.PeekAll() {
+		for _, e := range UnpackBlock(128, blk) {
+			merged[e.BlockIndex] = e
+		}
+	}
+	if len(merged) != int(r2.Len())*n {
+		t.Fatalf("merged %d entries, want %d", len(merged), int(r2.Len())*n)
+	}
+
+	// Draining the restored ring continues the same FIFO sequence.
+	for !r2.Empty() {
+		blk, _ := r2.Pop()
+		checkBlock(blk, popSeq)
+		popSeq++
+	}
+	if popSeq != pushSeq {
+		t.Fatalf("drained through seq %d, want %d", popSeq, pushSeq)
+	}
+}
+
+// TestRingLoadCtlRejectsOverfullBounds pins the validation in LoadCtl:
+// control bounds claiming more live blocks than the ring holds must be
+// treated as corruption, not silently adopted.
+func TestRingLoadCtlRejectsOverfullBounds(t *testing.T) {
+	r, lay, dev := newRing(t)
+	blk := make([]byte, 128)
+	binary.LittleEndian.PutUint64(blk[0:8], ctlMagic)
+	binary.LittleEndian.PutUint64(blk[8:16], 0)
+	binary.LittleEndian.PutUint64(blk[16:24], uint64(r.Capacity()+1))
+	dev.WriteBlock(lay.CtlBase, blk)
+	if err := r.LoadCtl(); err == nil {
+		t.Fatal("bounds exceeding capacity must be rejected")
 	}
 }
 

@@ -67,15 +67,24 @@ func (r *Ring) Push(block []byte) int64 {
 }
 
 // Pop removes the oldest block, returning its contents and the NVM
-// address it was read from. Pop on an empty ring panics.
+// address it was read from. Pop on an empty ring panics. The contents
+// are freshly allocated; hot paths use PopInto.
 func (r *Ring) Pop() (block []byte, addr int64) {
+	block = make([]byte, r.lay.BlockSize)
+	addr = r.PopInto(block)
+	return block, addr
+}
+
+// PopInto removes the oldest block, copying its contents into dst
+// (exactly one block) and returning the NVM address it was read from.
+func (r *Ring) PopInto(dst []byte) (addr int64) {
 	if r.Empty() {
 		panic("pub: pop on empty ring")
 	}
 	addr = r.lay.PUBBlockAddr(r.head)
-	block = r.dev.ReadBlock(addr)
+	r.dev.ReadBlockInto(dst, addr)
 	r.head++
-	return block, addr
+	return addr
 }
 
 // PeekAll returns the live blocks oldest-first without consuming them.

@@ -81,6 +81,9 @@ type WPQ struct {
 	inFlight int                // handed to a bank, not yet retired
 	frees    []int64            // completion times of in-flight writes
 	freeHead int
+	// onRetire is the completion callback handed to the memory banks,
+	// built once so issueOldest does not allocate a closure per write.
+	onRetire func(at int64)
 
 	// OnIssue, if set, observes every pending entry leaving the
 	// coalescing window and may suppress the actual memory write by
@@ -124,13 +127,17 @@ func New(mem *sim.Memory, capacity, drainAt int, writeLat int64) *WPQ {
 	if writeLat <= 0 {
 		panic("wpq: write latency must be positive")
 	}
-	return &WPQ{
+	w := &WPQ{
 		mem:      mem,
 		capacity: capacity,
 		drainAt:  drainAt,
 		writeLat: writeLat,
 		pendSet:  make(map[int64]struct{}),
 	}
+	w.onRetire = func(at int64) {
+		w.frees = append(w.frees, at)
+	}
+	return w
 }
 
 // Capacity returns the total slot count.
@@ -163,7 +170,8 @@ func (w *WPQ) reapFrees(t int64) {
 // one of the obs.Drain* labels.
 func (w *WPQ) issueOldest(t int64, reason string) {
 	e := w.pending[0]
-	w.pending = w.pending[1:]
+	copy(w.pending, w.pending[1:])
+	w.pending = w.pending[:len(w.pending)-1]
 	delete(w.pendSet, e.addr)
 	if w.Tracer != nil {
 		w.Tracer.Emit(obs.Event{
@@ -183,9 +191,7 @@ func (w *WPQ) issueOldest(t int64, reason string) {
 	if e.at > ready {
 		ready = e.at
 	}
-	w.mem.Post(e.addr, sim.Item{Ready: ready, Dur: w.writeLat, Done: func(at int64) {
-		w.frees = append(w.frees, at)
-	}})
+	w.mem.Post(e.addr, sim.Item{Ready: ready, Dur: w.writeLat, Done: w.onRetire})
 }
 
 // drainExcess issues pending entries beyond the coalescing window and
