@@ -7,9 +7,9 @@ SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
 TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
 
-.PHONY: ci vet build test race crashfuzz trace-smoke bench-alloc bench-json fuzz-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz parallel-diff trace-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke sweep-1000
 
-ci: vet build test race crashfuzz trace-smoke bench-alloc bench-json
+ci: vet build test race crashfuzz parallel-diff trace-smoke bench-alloc bench-json
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,13 @@ race:
 # print `crashfuzz.Replay(seed)` for one-line reproduction).
 crashfuzz:
 	$(GO) run ./cmd/crashfuzz -seeds $(SWEEP_SEEDS)
+
+# Serial-vs-parallel recovery differential: 200 seeded crash images,
+# each recovered with the serial engine and RecoverParallel at Workers
+# in {1,2,4,8}; device bytes, report counters and error sentinels must
+# all agree (also runs inside the plain test/race lanes).
+parallel-diff:
+	$(GO) test ./internal/recovery -run TestParallelRecoveryDifferential -count=1
 
 # Trace a quick workload and validate the emitted JSONL event stream
 # against the schema (cmd/tracecheck exits non-zero on any violation).
@@ -54,6 +61,10 @@ endif
 # Short coverage-guided fuzz session over the checked-in corpus.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCrashRecovery -fuzztime=$(FUZZTIME) ./internal/crashfuzz
+
+# Same, against the serial-vs-parallel recovery differential oracle.
+fuzz-parallel-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParallelRecovery -fuzztime=$(FUZZTIME) ./internal/crashfuzz
 
 # The acceptance-criteria sweep (slower; not part of `ci`).
 sweep-1000:

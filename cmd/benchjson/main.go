@@ -34,7 +34,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypt"
 	"repro/internal/harness"
+	"repro/internal/nvm"
 	"repro/internal/pub"
+	"repro/internal/recovery"
 )
 
 // Entry is one benchmark's recorded result.
@@ -55,9 +57,10 @@ type File struct {
 // zero-allocation by construction and must stay that way.
 const nsTolerance = 0.15
 
-// figureNsTolerance is the wider bound for the figure/ benchmarks: each
-// rep is a single end-to-end run (~hundreds of ms), so min-of-reps
-// absorbs much less scheduler noise than it does for the micros.
+// figureNsTolerance is the wider bound for the figure/ and recovery/
+// benchmarks: each rep is a single end-to-end run (hundreds of
+// microseconds to hundreds of ms), so min-of-reps absorbs much less
+// scheduler noise than it does for the micros.
 const figureNsTolerance = 0.35
 
 // reps is how many times each benchmark is measured; the minimum ns/op
@@ -166,6 +169,10 @@ func suite() []bench {
 				pub.PackBlockInto(out, entries)
 			}
 		}},
+		{"recovery/pub25_serial", benchRecovery(0.25, 0)},
+		{"recovery/pub25_workers4", benchRecovery(0.25, 4)},
+		{"recovery/pub100_serial", benchRecovery(fullRingFill, 0)},
+		{"recovery/pub100_workers4", benchRecovery(fullRingFill, 4)},
 		{"figure/quick_thoth_btree", func(b *testing.B) {
 			rc := quickRunConfig(config.ThothWTSC, "btree")
 			for i := 0; i < b.N; i++ {
@@ -182,6 +189,69 @@ func suite() []bench {
 				}
 			}
 		}},
+	}
+}
+
+// fullRingFill is the "PUB 100%" occupancy target: the ring is filled
+// to just under capacity, leaving the headroom the crash-time ADR flush
+// needs to drain the PCB residue.
+const fullRingFill = 0.95
+
+// crashedRecoveryImage persists distinct blocks until the PUB ring
+// reaches the target occupancy, then crashes, returning the image the
+// recovery benchmarks replay. A 64KiB PUB (512 packed blocks) keeps the
+// merge work large enough that sharding it is meaningful.
+func crashedRecoveryImage(b *testing.B, fill float64) (config.Config, *nvm.Device) {
+	cfg := benchConfig(config.ThothWTSC)
+	cfg.PUBBytes = 64 << 10
+	// Eviction normally starts at 80% occupancy; push the threshold to
+	// capacity (the controller still reserves PCBEntries blocks of
+	// crash-flush headroom) so the ring can actually reach fullRingFill.
+	cfg.PUBEvictFraction = 1.0
+	c, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := int64(cfg.BlockSize)
+	blk := make([]byte, cfg.BlockSize)
+	var now int64
+	for i := 0; c.PUBOccupancy() < fill; i++ {
+		if i > 1<<20 {
+			b.Fatalf("ring never reached occupancy %.2f (stuck at %.2f)", fill, c.PUBOccupancy())
+		}
+		for j := range blk {
+			blk[j] = byte(i) ^ byte(j)
+		}
+		now = c.PersistBlock(now, int64(i)*bs, blk)
+	}
+	if err := c.Crash(now); err != nil {
+		b.Fatal(err)
+	}
+	return cfg, c.Device()
+}
+
+// benchRecovery measures one recovery of the crash image per iteration
+// (the clone that resets the image is excluded from the timer). workers
+// 0 is the serial reference engine.
+func benchRecovery(fill float64, workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg, img := crashedRecoveryImage(b, fill)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dev := img.Clone()
+			b.StartTimer()
+			var err error
+			if workers > 0 {
+				_, err = recovery.RecoverParallel(cfg, dev, recovery.RecoverOpts{Workers: workers})
+			} else {
+				_, err = recovery.Recover(cfg, dev)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 
@@ -222,12 +292,16 @@ func compare(baseline, fresh File) []string {
 			bad = append(bad, fmt.Sprintf("%s: benchmark disappeared from the suite", name))
 			continue
 		}
-		if got.AllocsPerOp > base.AllocsPerOp {
+		// The recovery/ family is exempt from the exact allocation gate:
+		// each op clones the device and spawns worker goroutines, so
+		// allocs/op moves with b.N (goroutine-stack reuse) rather than
+		// with the code under test.
+		if !strings.HasPrefix(name, "recovery/") && got.AllocsPerOp > base.AllocsPerOp {
 			bad = append(bad, fmt.Sprintf("%s: allocs/op %d -> %d (any increase fails)",
 				name, base.AllocsPerOp, got.AllocsPerOp))
 		}
 		tol := nsTolerance
-		if strings.HasPrefix(name, "figure/") {
+		if strings.HasPrefix(name, "figure/") || strings.HasPrefix(name, "recovery/") {
 			tol = figureNsTolerance
 		}
 		if limit := base.NsPerOp * (1 + tol); got.NsPerOp > limit {

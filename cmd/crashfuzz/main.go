@@ -8,6 +8,7 @@
 //	crashfuzz -seeds 200 -start 5000      # a different block of seeds
 //	crashfuzz -replay 1234                # reproduce one reported seed
 //	crashfuzz -replay 1234 -minimize      # and shrink its trace first
+//	crashfuzz -seeds 200 -recovery-workers 4   # serial-vs-parallel diff
 //
 // Every case is a pure function of its seed, so a failing seed printed
 // by a sweep reproduces byte-for-byte here or in a Go test via
@@ -32,16 +33,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	replay := fs.Int64("replay", 0, "replay this seed instead of sweeping (0 disables)")
 	minimize := fs.Bool("minimize", false, "with -replay: shrink a failing trace before reporting")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel cases during a sweep")
+	recWorkers := fs.Int("recovery-workers", 0,
+		"also run the serial-vs-parallel recovery differential at N workers (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	// With -recovery-workers the oracle becomes the serial-vs-parallel
+	// recovery differential (ParallelDiff) instead of the plain crash-
+	// consistency contract; replays, sweeps, and ddmin all honor it.
+	runOne := crashfuzz.Replay
+	if *recWorkers > 0 {
+		runOne = func(seed int64) *crashfuzz.Result {
+			return crashfuzz.RunParallel(seed, []int{*recWorkers})
+		}
+	}
+
 	if *replay != 0 {
-		res := crashfuzz.Replay(*replay)
+		res := runOne(*replay)
 		if res.Failed() && *minimize {
-			min := crashfuzz.Minimize(res.Case)
+			failing := func(c crashfuzz.Case) bool { return crashfuzz.RunCase(c).Failed() }
+			rerun := crashfuzz.RunCase
+			if *recWorkers > 0 {
+				failing = func(c crashfuzz.Case) bool {
+					return crashfuzz.ParallelDiff(c, []int{*recWorkers}).Failed()
+				}
+				rerun = func(c crashfuzz.Case) *crashfuzz.Result {
+					return crashfuzz.ParallelDiff(c, []int{*recWorkers})
+				}
+			}
+			min := crashfuzz.MinimizeWith(res.Case, failing)
 			fmt.Fprintf(stdout, "minimized trace: %d ops -> %d ops\n", res.Case.CrashIdx, len(min.Trace))
-			res = crashfuzz.RunCase(min)
+			res = rerun(min)
 		}
 		fmt.Fprintln(stdout, res)
 		if res.Failed() {
@@ -50,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	sw := crashfuzz.Sweep(*start, *seeds, *workers)
+	sw := crashfuzz.SweepWith(*start, *seeds, *workers, runOne)
 	fmt.Fprintln(stdout, sw)
 	if sw.Failed() {
 		return 1

@@ -34,3 +34,25 @@ func TestRunRejectsBadFlag(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestRunParallelRecoverySweep(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-seeds", "10", "-start", "1", "-recovery-workers", "4"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "10 cases, 0 violations") {
+		t.Errorf("parallel-diff sweep summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunParallelRecoveryReplay(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-replay", "42", "-recovery-workers", "2"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), ": ok") {
+		t.Errorf("parallel-diff replay report missing:\n%s", out.String())
+	}
+}

@@ -53,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	macKiB := fs.Int("mac-cache", 128, "MAC cache KiB")
 	wpqEntries := fs.Int("wpq", 64, "WPQ entries (PCB takes 1/8 under Thoth)")
 	crash := fs.Bool("crash", false, "crash after the run and recover the image")
+	recoveryWorkers := fs.Int("recovery-workers", 0,
+		"recover with the sharded parallel engine at N workers (0 = serial reference)")
 	verify := fs.Bool("verify", false, "verify all persisted data after the run")
 	shadow := fs.Bool("shadow", false, "enable Anubis shadow-table tracking (fast recovery)")
 	eadr := fs.Bool("eadr", false, "enhanced ADR: persistent cache hierarchy (extension)")
@@ -135,7 +137,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "thothsim: crash flush:", err)
 			return 1
 		}
-		rep, err := recovery.Recover(cfg, res.Controller.Device())
+		var rep *recovery.Report
+		if *recoveryWorkers > 0 {
+			rep, err = recovery.RecoverParallel(cfg, res.Controller.Device(),
+				recovery.RecoverOpts{Workers: *recoveryWorkers})
+		} else {
+			rep, err = recovery.Recover(cfg, res.Controller.Device())
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "thothsim: recovery failed:", err)
 			return 1

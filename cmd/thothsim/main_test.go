@@ -97,3 +97,17 @@ func TestParseScheme(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCrashRecoverParallel(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-workload", "hashmap", "-txs", "30", "-warmup", "5", "-setup", "64", "-pub", "16",
+		"-crash", "-recovery-workers", "2",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "parallel: 2 workers") {
+		t.Errorf("parallel crash run must print the per-shard report:\n%s", out.String())
+	}
+}

@@ -85,6 +85,19 @@ func (t *Tree) Root() uint64 {
 
 // hashCtr computes the hash of one counter block's contents.
 func (t *Tree) hashCtr(ctrIdx int64, data []byte) uint64 {
+	return hashCtrBlock(t.lay, t.eng, ctrIdx, data)
+}
+
+// hashNode computes the hash of a node's packed child hashes, with the
+// zero default for all-zero nodes.
+func (t *Tree) hashNode(level int, idx int64, n *[layout.TreeArity]uint64) uint64 {
+	return hashNodeBlock(t.lay, t.eng, level, idx, n)
+}
+
+// hashCtrBlock computes the hash of one counter block's contents, with
+// the sparse-tree zero default for all-zero blocks. Free function so the
+// serial Tree and the parallel rebuild share one definition.
+func hashCtrBlock(lay *layout.Layout, eng *crypt.Engine, ctrIdx int64, data []byte) uint64 {
 	allZero := true
 	for _, b := range data {
 		if b != 0 {
@@ -95,13 +108,13 @@ func (t *Tree) hashCtr(ctrIdx int64, data []byte) uint64 {
 	if allZero {
 		return 0
 	}
-	addr := t.lay.CtrBase + ctrIdx*int64(t.lay.BlockSize)
-	return t.eng.TreeHash(addr, data)
+	addr := lay.CtrBase + ctrIdx*int64(lay.BlockSize)
+	return eng.TreeHash(addr, data)
 }
 
-// hashNode computes the hash of a node's packed child hashes, with the
-// zero default for all-zero nodes.
-func (t *Tree) hashNode(level int, idx int64, n *[layout.TreeArity]uint64) uint64 {
+// hashNodeBlock computes the hash of a node's packed child hashes, with
+// the zero default for all-zero nodes.
+func hashNodeBlock(lay *layout.Layout, eng *crypt.Engine, level int, idx int64, n *[layout.TreeArity]uint64) uint64 {
 	if n == nil {
 		return 0
 	}
@@ -116,7 +129,7 @@ func (t *Tree) hashNode(level int, idx int64, n *[layout.TreeArity]uint64) uint6
 	if zero {
 		return 0
 	}
-	return t.eng.TreeHash(t.lay.TreeNodeAddr(level, idx), buf[:])
+	return eng.TreeHash(lay.TreeNodeAddr(level, idx), buf[:])
 }
 
 // Update records new contents for counter block ctrIdx (copying data into

@@ -1,0 +1,126 @@
+package bmt
+
+import (
+	"sync"
+
+	"repro/internal/crypt"
+	"repro/internal/layout"
+	"repro/internal/nvm"
+)
+
+// RebuildParallel recomputes the tree bottom-up from the counter region
+// of an NVM image like Rebuild, but fans the hashing out across workers:
+// the written counter blocks are hashed in parallel chunks, then each
+// tree level's touched nodes are hashed in parallel, with the level
+// barrier acting as the sequential root join. The device must not be
+// written concurrently (recovery calls this after the merge phase has
+// joined), so the borrowed ForEachWritten slices stay stable for the
+// whole rebuild.
+//
+// newEng builds a hashing engine per worker — crypt.Engine carries
+// reusable scratch and is not concurrency-safe — and must return engines
+// keyed identically to the one the image was written under (same seed).
+// The result is bit-identical to Rebuild for any worker count; it also
+// returns the number of counter blocks hashed, for the cost model.
+func RebuildParallel(lay *layout.Layout, newEng func() *crypt.Engine, dev *nvm.Device, workers int) (root uint64, leaves int64) {
+	if workers < 1 {
+		workers = 1
+	}
+	type leaf struct {
+		idx  int64
+		data []byte
+	}
+	var ls []leaf
+	dev.ForEachWritten(lay.CtrBase, lay.CtrBytes, func(addr int64, block []byte) {
+		ls = append(ls, leaf{lay.CtrIndex(addr), block})
+	})
+	leaves = int64(len(ls))
+	if leaves == 0 {
+		return 0, 0
+	}
+
+	hashes := make([]uint64, len(ls))
+	parallelChunks(len(ls), workers, func(lo, hi int) {
+		eng := newEng()
+		for i := lo; i < hi; i++ {
+			hashes[i] = hashCtrBlock(lay, eng, ls[i].idx, ls[i].data)
+		}
+	})
+
+	// Assemble level 0 from the leaf hashes, then hash level by level.
+	// Node visit order is the ascending-address leaf order, so chunking
+	// is deterministic regardless of worker count.
+	type nodeRef struct {
+		idx int64
+		n   *[layout.TreeArity]uint64
+	}
+	cur := make(map[int64]*[layout.TreeArity]uint64)
+	var order []int64
+	link := func(childIdx int64, h uint64) (parent int64) {
+		parent, slot := layout.TreeParent(childIdx)
+		n := cur[parent]
+		if n == nil {
+			n = new([layout.TreeArity]uint64)
+			cur[parent] = n
+			order = append(order, parent)
+		}
+		n[slot] = h
+		return parent
+	}
+	for i, lf := range ls {
+		link(lf.idx, hashes[i])
+	}
+
+	for level := 0; level < lay.TreeLevels(); level++ {
+		refs := make([]nodeRef, len(order))
+		for i, idx := range order {
+			refs[i] = nodeRef{idx, cur[idx]}
+		}
+		hs := make([]uint64, len(refs))
+		parallelChunks(len(refs), workers, func(lo, hi int) {
+			eng := newEng()
+			for i := lo; i < hi; i++ {
+				hs[i] = hashNodeBlock(lay, eng, level, refs[i].idx, refs[i].n)
+			}
+		})
+		if level == lay.TreeLevels()-1 {
+			// The top level holds the single node whose hash is the root.
+			return hs[0], leaves
+		}
+		cur = make(map[int64]*[layout.TreeArity]uint64)
+		order = order[:0]
+		for i, r := range refs {
+			link(r.idx, hs[i])
+		}
+	}
+	return 0, leaves // unreachable: every layout has >= 1 tree level
+}
+
+// parallelChunks splits [0,n) into one contiguous chunk per worker and
+// runs fn on each concurrently. fn must only touch its own chunk.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

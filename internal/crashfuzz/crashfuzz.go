@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	thoth "repro"
 	"repro/internal/config"
@@ -38,6 +37,10 @@ const (
 	// VDifferential: two schemes fed the identical trace disagree about
 	// recovered contents.
 	VDifferential
+	// VParallelDiverge: parallel recovery of a crash image disagrees with
+	// the serial reference — different device bytes, a different report,
+	// or a different error sentinel.
+	VParallelDiverge
 )
 
 // String names the kind for reports.
@@ -57,6 +60,8 @@ func (k ViolationKind) String() string {
 		return "data-loss"
 	case VDifferential:
 		return "differential"
+	case VParallelDiverge:
+		return "parallel-diverge"
 	default:
 		return "violation?"
 	}
@@ -343,32 +348,5 @@ func (s *SweepResult) String() string {
 // (1 if workers < 1). Per-seed results are independent, so parallelism
 // does not affect determinism.
 func Sweep(start int64, n, workers int) *SweepResult {
-	if workers < 1 {
-		workers = 1
-	}
-	results := make([]*Result, n)
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				results[i] = Run(start + int64(i))
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-
-	sw := &SweepResult{Cases: n}
-	for _, r := range results {
-		if r.Failed() {
-			sw.Failures = append(sw.Failures, r)
-		}
-	}
-	return sw
+	return SweepWith(start, n, workers, Run)
 }

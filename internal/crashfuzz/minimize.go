@@ -11,14 +11,22 @@ package crashfuzz
 // Minimization re-executes the case many times; use it on the short
 // traces the fuzzer produces, not on production-sized workloads.
 func Minimize(c Case) Case {
-	if !RunCase(c).Failed() {
+	return MinimizeWith(c, func(c Case) bool { return RunCase(c).Failed() })
+}
+
+// MinimizeWith is Minimize under an arbitrary failure predicate, so any
+// oracle over a Case — the crash-consistency contract, the serial-vs-
+// parallel recovery differential — shrinks with the same ddmin loop.
+// The predicate must be deterministic for the reduction to be sound.
+func MinimizeWith(c Case, failing func(Case) bool) Case {
+	if !failing(c) {
 		return c
 	}
 	// Ops at index >= CrashIdx never execute; drop them first.
 	base := c
 	base.Trace = append([]Op(nil), c.Trace[:c.CrashIdx]...)
 	base.CrashIdx = len(base.Trace)
-	if !RunCase(base).Failed() {
+	if !failing(base) {
 		return c // failure depends on unexecuted ops somehow; keep original
 	}
 
@@ -36,7 +44,7 @@ func Minimize(c Case) Case {
 			cand.Trace = append(cand.Trace, base.Trace[:lo]...)
 			cand.Trace = append(cand.Trace, base.Trace[hi:]...)
 			cand.CrashIdx = len(cand.Trace)
-			if RunCase(cand).Failed() {
+			if failing(cand) {
 				base = cand
 				if n > 2 {
 					n--

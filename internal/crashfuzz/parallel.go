@@ -1,0 +1,188 @@
+package crashfuzz
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	thoth "repro"
+	"repro/internal/config"
+)
+
+// DefaultWorkerCounts are the parallel-recovery worker counts the
+// differential oracle sweeps by default (the acceptance matrix of the
+// parallel recovery engine).
+var DefaultWorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelDiff executes the case's trace prefix under each scheme,
+// crashes, and recovers the crash image with the serial engine and with
+// RecoverParallel at every given worker count (DefaultWorkerCounts when
+// nil). Any divergence — different post-recovery device bytes, a
+// different report (CountsEqual), or a different error sentinel — is a
+// VParallelDiverge violation. Like RunCase, it never panics.
+func ParallelDiff(c Case, workerCounts []int) *Result {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultWorkerCounts
+	}
+	res := &Result{Case: c}
+	for _, sch := range c.Schemes {
+		img, cfg, viols := crashImage(c, sch)
+		res.Violations = append(res.Violations, viols...)
+		if img == nil {
+			continue
+		}
+
+		serialDev := img.Clone()
+		serialRep, serialErr := thoth.Recover(cfg, serialDev)
+		serialBytes, err := imageBytes(serialDev)
+		if err != nil {
+			res.Violations = append(res.Violations,
+				Violation{VExecError, sch, "serial image save: " + err.Error()})
+			continue
+		}
+
+		for _, w := range workerCounts {
+			pdev := img.Clone()
+			prep, perr := recoverParallelNoPanic(cfg, pdev, w)
+			diverge := func(detail string) {
+				res.Violations = append(res.Violations, Violation{
+					VParallelDiverge, sch,
+					fmt.Sprintf("workers=%d: %s", w, detail),
+				})
+			}
+			if !sameRecoveryOutcome(serialErr, perr) {
+				diverge(fmt.Sprintf("serial err=%v, parallel err=%v", serialErr, perr))
+				continue
+			}
+			pBytes, err := imageBytes(pdev)
+			if err != nil {
+				diverge("image save: " + err.Error())
+				continue
+			}
+			if !bytes.Equal(serialBytes, pBytes) {
+				diverge("post-recovery device image differs from serial")
+			}
+			if (serialRep == nil) != (prep == nil) {
+				diverge(fmt.Sprintf("serial report nil=%v, parallel report nil=%v",
+					serialRep == nil, prep == nil))
+			} else if serialRep != nil && !serialRep.CountsEqual(prep) {
+				diverge(fmt.Sprintf("report differs: serial{%s} parallel{%s}", serialRep, prep))
+			}
+		}
+	}
+	return res
+}
+
+// RunParallel derives the case for a seed and runs the serial-vs-
+// parallel recovery differential over the given worker counts
+// (DefaultWorkerCounts when nil).
+func RunParallel(seed int64, workerCounts []int) *Result {
+	return ParallelDiff(DeriveCase(seed), workerCounts)
+}
+
+// crashImage executes the case's trace prefix under one scheme and
+// crashes, returning the crash image (nil when execution or the ADR
+// flush failed; the violations say why). Panics are converted to
+// violations like everywhere else in the harness.
+func crashImage(c Case, sch config.Scheme) (img *thoth.Device, cfg config.Config, viols []Violation) {
+	defer func() {
+		if p := recover(); p != nil {
+			img = nil
+			viols = append(viols, Violation{VExecPanic, sch, fmt.Sprint(p)})
+		}
+	}()
+	cfg = c.ConfigFor(sch)
+	sys, err := thoth.New(cfg)
+	if err != nil {
+		return nil, cfg, append(viols, Violation{VExecError, sch, "new: " + err.Error()})
+	}
+	for i, op := range c.Trace[:c.CrashIdx] {
+		switch op.Kind {
+		case OpWrite:
+			err = sys.Write(op.Addr, op.payload())
+		case OpRead:
+			_, err = sys.Read(op.Addr, op.Len)
+		case OpCorrupt:
+			corruptCtr(sys, cfg, op.Addr)
+		}
+		if err != nil {
+			return nil, cfg, append(viols, Violation{VExecError, sch,
+				fmt.Sprintf("op %d (%s %#x+%d): %v", i, op.Kind, op.Addr, op.Len, err)})
+		}
+	}
+	img, err = sys.Crash()
+	if err != nil {
+		return nil, cfg, append(viols, Violation{VCrashError, sch, err.Error()})
+	}
+	return img, cfg, viols
+}
+
+// recoverParallelNoPanic shields the differential oracle from panics in
+// the engine under test: a panicking parallel recovery must surface as a
+// divergence, not kill the fuzzer.
+func recoverParallelNoPanic(cfg config.Config, dev *thoth.Device, workers int) (rep *thoth.RecoveryReport, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep, err = nil, fmt.Errorf("parallel recovery panicked: %v", p)
+		}
+	}()
+	return thoth.RecoverParallel(cfg, dev, thoth.RecoverOpts{Workers: workers})
+}
+
+// sameRecoveryOutcome reports whether two recovery errors agree: both
+// nil, or both matching the same sentinels under errors.Is.
+func sameRecoveryOutcome(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	for _, sentinel := range []error{thoth.ErrRootMismatch, thoth.ErrNoControlState} {
+		if errors.Is(a, sentinel) != errors.Is(b, sentinel) {
+			return false
+		}
+	}
+	return true
+}
+
+// imageBytes serializes a device image for byte-exact comparison.
+func imageBytes(d *thoth.Device) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SweepWith runs one Result-producing function over seeds
+// start..start+n-1 across workers goroutines, collecting failures in
+// ascending seed order. Sweep and the parallel-recovery sweep share it.
+func SweepWith(start int64, n, workers int, run func(seed int64) *Result) *SweepResult {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = run(start + int64(i))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	sw := &SweepResult{Cases: n}
+	for _, r := range results {
+		if r.Failed() {
+			sw.Failures = append(sw.Failures, r)
+		}
+	}
+	return sw
+}

@@ -1,0 +1,39 @@
+package crashfuzz
+
+import (
+	"testing"
+)
+
+// FuzzParallelRecovery is the native fuzz entry point for the
+// serial-vs-parallel recovery differential:
+//
+//	go test -fuzz=FuzzParallelRecovery -fuzztime=30s ./internal/crashfuzz
+//
+// Like FuzzCrashRecovery it explores the case seed plus an independent
+// crash-point selector, but the oracle is ParallelDiff: every crash
+// image is recovered serially and with RecoverParallel at Workers in
+// {1,2,4,8}, and any divergence in device bytes, report counters or
+// error sentinel fails. Failures ddmin-minimize (MinimizeWith under the
+// same oracle) before reporting, so the shrunk trace still diverges.
+func FuzzParallelRecovery(f *testing.F) {
+	// Corpus spans both block sizes, both crash modes, and differential
+	// scheme pairs (see DeriveCase); selector 0 keeps the derived crash.
+	f.Add(int64(1), uint64(0))
+	f.Add(int64(42), uint64(3))
+	f.Add(int64(-7), uint64(8))
+
+	f.Fuzz(func(t *testing.T, seed int64, crashSel uint64) {
+		c := DeriveCase(seed)
+		if crashSel != 0 {
+			c.CrashIdx = int(crashSel % uint64(len(c.Trace)+1))
+		}
+		res := ParallelDiff(c, nil)
+		if res.Failed() {
+			oracle := func(c Case) bool { return ParallelDiff(c, nil).Failed() }
+			min := MinimizeWith(c, oracle)
+			t.Fatalf("\n%s\nminimized: %d ops -> %d ops; reproduce with "+
+				"crashfuzz.ParallelDiff(crashfuzz.DeriveCase(%d), nil)",
+				res, c.CrashIdx, len(min.Trace), seed)
+		}
+	})
+}

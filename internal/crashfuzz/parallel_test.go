@@ -1,0 +1,43 @@
+package crashfuzz
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelDiffCleanSeeds runs the serial-vs-parallel recovery
+// differential over a handful of derived cases; any divergence is a
+// recovery-engine bug (the 200-seed sweep lives in
+// internal/recovery/parallel_diff_test.go, this pins the oracle from
+// the harness side).
+func TestParallelDiffCleanSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		if res := RunParallel(seed, nil); res.Failed() {
+			t.Fatalf("seed %d:\n%s", seed, res)
+		}
+	}
+}
+
+// TestParallelDiffTamperFailsIdentically pins error-path parity inside
+// the oracle: a tampered image makes BOTH engines fail with the same
+// sentinel, so the differential sees agreement — no VParallelDiverge —
+// even though recovery itself failed on both sides.
+func TestParallelDiffTamperFailsIdentically(t *testing.T) {
+	res := ParallelDiff(failingCase(), nil)
+	for _, v := range res.Violations {
+		if v.Kind == VParallelDiverge {
+			t.Fatalf("tampered image must fail identically on both paths:\n%s", res)
+		}
+	}
+}
+
+// TestMinimizeWithMatchesMinimize pins that Minimize is exactly
+// MinimizeWith under the RunCase oracle.
+func TestMinimizeWithMatchesMinimize(t *testing.T) {
+	c := failingCase()
+	a := Minimize(c)
+	b := MinimizeWith(c, func(c Case) bool { return RunCase(c).Failed() })
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("MinimizeWith under the RunCase oracle diverges from Minimize")
+	}
+}

@@ -18,7 +18,11 @@
 // module exhibits.
 package nvm
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // PageBlocks is the number of blocks per storage page (a power of two).
 // It is an implementation granularity, not an architectural parameter:
@@ -40,12 +44,23 @@ type Device struct {
 	capacity  int64
 	pages     []*page // dense, indexed by blockIndex/PageBlocks; nil = untouched
 
+	// stripes serializes concurrent Shard access per page: two blocks on
+	// the same storage page share a stripe, so page allocation and the
+	// written/wear bookkeeping never race even when parallel recovery
+	// workers touch disjoint blocks of one page. The serial controller
+	// paths never lock.
+	stripes *[lockStripes]sync.Mutex
+
 	// TotalWrites counts every block write since construction (or the
 	// last ResetWear), regardless of address.
 	TotalWrites int64
 	// TotalReads counts every block read.
 	TotalReads int64
 }
+
+// lockStripes is the number of page-lock stripes (a power of two). Far
+// more stripes than recovery workers keeps contention incidental.
+const lockStripes = 128
 
 // New returns a device of the given capacity in bytes and access
 // granularity (block size) in bytes. Capacity must be a positive multiple
@@ -60,6 +75,7 @@ func New(capacity int64, blockSize int) *Device {
 		blockSize: blockSize,
 		capacity:  capacity,
 		pages:     make([]*page, numPages),
+		stripes:   new([lockStripes]sync.Mutex),
 	}
 }
 
@@ -174,6 +190,59 @@ func (d *Device) WriteBlock(addr int64, data []byte) {
 	p.written |= 1 << uint(slot)
 	p.wear[slot]++
 	d.TotalWrites++
+}
+
+// lockFor returns the stripe mutex guarding block idx's page.
+func (d *Device) lockFor(idx int64) *sync.Mutex {
+	return &d.stripes[uint64(idx/PageBlocks)%lockStripes]
+}
+
+// Shard returns a concurrency-safe handle on the device for parallel
+// recovery workers. Peek and WriteBlock through a Shard serialize on
+// striped per-page locks — blocks sharing a storage page share a stripe
+// — so first-touch page allocation and the written-bitmap/wear updates
+// never race; TotalWrites is maintained atomically. The handle makes
+// concurrent access *safe*, not ordered: callers must still partition
+// the blocks they write so no two goroutines write the same block.
+func (d *Device) Shard() Shard { return Shard{d} }
+
+// Shard is the concurrent device view returned by Device.Shard.
+type Shard struct{ d *Device }
+
+// Peek returns a copy of the block at addr without touching the read
+// counter, like Device.Peek, but safe against concurrent Shard writes to
+// other blocks of the same page.
+func (s Shard) Peek(addr int64) []byte {
+	d := s.d
+	idx := d.index(addr)
+	out := make([]byte, d.blockSize)
+	mu := d.lockFor(idx)
+	mu.Lock()
+	if p := d.pageOf(idx); p != nil {
+		copy(out, p.blockSlice(idx, d.blockSize))
+	}
+	mu.Unlock()
+	return out
+}
+
+// WriteBlock stores data (exactly one block) at addr with the same
+// semantics and accounting as Device.WriteBlock, safely against
+// concurrent Shard access to the rest of the page.
+func (s Shard) WriteBlock(addr int64, data []byte) {
+	d := s.d
+	if len(data) != d.blockSize {
+		panic(fmt.Sprintf("nvm: write of %d bytes, block size is %d", len(data), d.blockSize))
+	}
+	idx := d.index(addr)
+	mu := d.lockFor(idx)
+	mu.Lock()
+	p := d.ensurePage(idx)
+	copy(p.blockSlice(idx, d.blockSize), data)
+	slot := idx % PageBlocks
+	p.written |= 1 << uint(slot)
+	p.wear[slot]++
+	mu.Unlock()
+	atomic.AddInt64(&d.TotalWrites, 1)
 }
 
 // setBlock stores contents without touching wear or write counters

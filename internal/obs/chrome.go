@@ -22,6 +22,7 @@ type Chrome struct {
 	cpuGHz float64
 	elems  int64 // array elements written (metadata + events)
 	count  int64 // events only
+	named  map[int]bool // recovery tracks already given thread_name metadata
 	closed bool
 	err    error
 }
@@ -63,11 +64,46 @@ func (c *Chrome) Emit(e Event) {
 		return
 	}
 	ts := float64(e.Cycle) / (c.cpuGHz * 1e3) // cycles -> microseconds
+	if e.Kind == KindRecoveryPhase && (e.Detail == PhaseBegin || e.Detail == PhaseEnd) {
+		c.phaseElem(e, ts)
+		c.count++
+		return
+	}
 	c.elem(fmt.Sprintf(`{"name":%s,"cat":"thoth","ph":"i","s":"t","pid":0,"tid":%d,"ts":%s,"args":{"addr":"0x%x","aux":%d,"scheme":%s,"part":%s,"detail":%s}}`,
 		strconv.Quote(e.Kind.String()), int(e.Kind),
 		strconv.FormatFloat(ts, 'f', 3, 64),
 		e.Addr, e.Aux, strconv.Quote(e.Scheme), strconv.Quote(e.Part), strconv.Quote(e.Detail)))
 	c.count++
+}
+
+// phaseElem renders a recovery-phase boundary (KindRecoveryPhase with a
+// PhaseBegin/PhaseEnd detail) as one half of a duration slice: "B"/"E"
+// pairs named after the phase, on a dedicated recovery track per shard
+// (tid numKinds+Aux — whole-engine spans at Aux 0, shard s at Aux s+1).
+// Track name metadata is written lazily on first use so traces without
+// recovery activity keep the exact preamble they always had. Callers
+// hold the mutex.
+func (c *Chrome) phaseElem(e Event, ts float64) {
+	tid := int(numKinds) + int(e.Aux)
+	if !c.named[tid] {
+		if c.named == nil {
+			c.named = make(map[int]bool)
+		}
+		c.named[tid] = true
+		label := "recovery"
+		if e.Aux > 0 {
+			label = fmt.Sprintf("recovery shard %d", e.Aux-1)
+		}
+		c.elem(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			tid, strconv.Quote(label)))
+	}
+	ph := "B"
+	if e.Detail == PhaseEnd {
+		ph = "E"
+	}
+	c.elem(fmt.Sprintf(`{"name":%s,"cat":"thoth","ph":%q,"pid":0,"tid":%d,"ts":%s,"args":{"scheme":%s}}`,
+		strconv.Quote(e.Part), ph, tid,
+		strconv.FormatFloat(ts, 'f', 3, 64), strconv.Quote(e.Scheme)))
 }
 
 // Close writes the closing bracket and flushes; the underlying writer
@@ -96,8 +132,10 @@ func (c *Chrome) Count() int64 {
 
 // ValidateChrome checks that r holds a well-formed trace_event JSON
 // array: every element must carry the ph/pid/tid fields, and every
-// non-metadata element a known kind name and a non-negative timestamp.
-// It returns the number of instant events validated.
+// non-metadata element a non-negative timestamp and a known name — the
+// event-kind name for instant events, a recovery phase name for the
+// "B"/"E" duration pairs the phase spans use. It returns the number of
+// events validated.
 func ValidateChrome(r io.Reader) (int, error) {
 	var arr []struct {
 		Name string   `json:"name"`
@@ -118,7 +156,11 @@ func ValidateChrome(r io.Reader) (int, error) {
 		if ev.Ph == "M" {
 			continue
 		}
-		if _, ok := KindByName(ev.Name); !ok {
+		if ev.Ph == "B" || ev.Ph == "E" {
+			if !isPhaseName(ev.Name) {
+				return n, fmt.Errorf("element %d: unknown phase name %q", i, ev.Name)
+			}
+		} else if _, ok := KindByName(ev.Name); !ok {
 			return n, fmt.Errorf("element %d: unknown event name %q", i, ev.Name)
 		}
 		if ev.Ts == nil || *ev.Ts < 0 {

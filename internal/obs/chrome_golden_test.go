@@ -21,6 +21,10 @@ var goldenEvents = []Event{
 	{Kind: KindCacheEvict, Cycle: 8000, Addr: 0x4000200, Aux: 1, Scheme: "thoth-wtsc", Part: "mt"},
 	{Kind: KindTreeUpdate, Cycle: 8500, Addr: 0x5800000, Aux: 2, Scheme: "thoth-wtsc"},
 	{Kind: KindRecoveryMerge, Cycle: 125, Addr: 0x3000, Scheme: "thoth-wtsc", Detail: "ctr+mac"},
+	{Kind: KindRecoveryPhase, Cycle: 0, Aux: 0, Scheme: "thoth-wtsc", Part: PhaseScan, Detail: PhaseBegin},
+	{Kind: KindRecoveryPhase, Cycle: 600, Aux: 0, Scheme: "thoth-wtsc", Part: PhaseScan, Detail: PhaseEnd},
+	{Kind: KindRecoveryPhase, Cycle: 600, Aux: 2, Scheme: "thoth-wtsc", Part: PhaseMerge, Detail: PhaseBegin},
+	{Kind: KindRecoveryPhase, Cycle: 6480, Aux: 2, Scheme: "thoth-wtsc", Part: PhaseMerge, Detail: PhaseEnd},
 }
 
 func TestChromeGolden(t *testing.T) {

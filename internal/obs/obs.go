@@ -63,6 +63,14 @@ const (
 	// what was merged ("ctr+mac", "ctr", "mac", "noop") or why the entry
 	// was skipped ("stale", "out-of-range").
 	KindRecoveryMerge
+	// KindRecoveryPhase: a recovery phase started or finished. Part is
+	// the phase name (PhaseScan, PhaseMerge, PhaseRebuild, PhaseVerify),
+	// Detail is PhaseBegin or PhaseEnd, Cycle is the modeled recovery
+	// cycle at the boundary, and Aux selects the track: 0 for the
+	// whole-phase span, shard+1 for a per-shard span of the parallel
+	// engine. The Chrome exporter renders begin/end pairs as duration
+	// slices on per-shard tracks.
+	KindRecoveryPhase
 	numKinds
 )
 
@@ -84,6 +92,8 @@ func (k Kind) String() string {
 		return "tree-update"
 	case KindRecoveryMerge:
 		return "recovery-merge"
+	case KindRecoveryPhase:
+		return "recovery-phase"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -98,6 +108,36 @@ func KindByName(name string) (Kind, bool) {
 		}
 	}
 	return KindNone, false
+}
+
+// Recovery phase names (Event.Part for KindRecoveryPhase).
+const (
+	// PhaseScan: reading the PUB ring and unpacking its entries.
+	PhaseScan = "scan"
+	// PhaseMerge: verify-then-merge of the unpacked partial updates.
+	PhaseMerge = "merge"
+	// PhaseRebuild: bottom-up reconstruction of the integrity tree.
+	PhaseRebuild = "rebuild"
+	// PhaseVerify: comparing the rebuilt root against the persisted one.
+	PhaseVerify = "verify"
+)
+
+// Recovery phase boundaries (Event.Detail for KindRecoveryPhase).
+const (
+	// PhaseBegin marks the start of a phase span.
+	PhaseBegin = "begin"
+	// PhaseEnd marks the end of a phase span.
+	PhaseEnd = "end"
+)
+
+// isPhaseName reports whether name is one of the recovery phase labels
+// (used by the Chrome validator for "B"/"E" duration elements).
+func isPhaseName(name string) bool {
+	switch name {
+	case PhaseScan, PhaseMerge, PhaseRebuild, PhaseVerify:
+		return true
+	}
+	return false
 }
 
 // WPQ drain reasons (Event.Detail for KindWPQDrain).

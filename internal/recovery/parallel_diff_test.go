@@ -1,0 +1,32 @@
+// The differential sweep lives in an external test package because the
+// crashfuzz harness imports the public repro facade, which itself wraps
+// internal/recovery — an in-package test would close an import cycle.
+package recovery_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/crashfuzz"
+)
+
+// TestParallelRecoveryDifferential is the acceptance sweep for the
+// parallel recovery engine: 200 seeded crash images (the DeriveCase
+// distribution mixes uniform and adversarial crash points, both block
+// sizes, and WTSC/WTBC scheme pairs), each recovered with the serial
+// engine and with RecoverParallel at Workers in {1, 2, 4, 8}. Every
+// recovery must produce byte-identical device images, equal report
+// counters, and the same error sentinel. Wired into `make ci` via the
+// parallel-diff target (and the ordinary test/race lanes).
+func TestParallelRecoveryDifferential(t *testing.T) {
+	const seeds = 200
+	sw := crashfuzz.SweepWith(1, seeds, runtime.GOMAXPROCS(0), func(seed int64) *crashfuzz.Result {
+		return crashfuzz.RunParallel(seed, nil)
+	})
+	if sw.Cases != seeds {
+		t.Fatalf("sweep ran %d cases, want %d", sw.Cases, seeds)
+	}
+	if sw.Failed() {
+		t.Fatalf("\n%s", sw)
+	}
+}

@@ -45,6 +45,20 @@ import (
 // the persisted root: the image is tampered or corrupt.
 var ErrRootMismatch = errors.New("recovery: rebuilt tree root does not match persisted root")
 
+// ErrNoControlState is returned when the image carries no usable ADR
+// control state: the persisted root block or the PUB ring bounds are
+// missing or corrupt. Serial and parallel recovery wrap it identically,
+// so errors.Is(err, ErrNoControlState) holds on both paths.
+var ErrNoControlState = errors.New("recovery: control region holds no usable state")
+
+// blockStore is the device access recovery merging needs. The serial
+// path passes the *nvm.Device directly; the parallel path passes
+// per-worker nvm.Shard handles, so both run the exact same mergeEntry.
+type blockStore interface {
+	Peek(addr int64) []byte
+	WriteBlock(addr int64, data []byte)
+}
+
 // Report summarizes one recovery run.
 type Report struct {
 	// PUBBlocks and PUBEntries are the ring contents scanned.
@@ -60,9 +74,28 @@ type Report struct {
 	// root.
 	RootVerified bool
 	// EstimatedCycles / EstimatedSeconds are the modeled recovery time
-	// for the scanned PUB (Section IV-D's cost model).
+	// for the scanned PUB (Section IV-D's cost model; the parallel model
+	// when Workers > 0).
 	EstimatedCycles  int64
 	EstimatedSeconds float64
+
+	// Parallel recovery (RecoverParallel). Workers is the worker count
+	// the run used (0 for the serial Recover); Shards is the per-shard
+	// breakdown. ScanCycles, MergeCycles, RebuildCycles and VerifyCycles
+	// are the modeled per-phase costs (merge and rebuild are critical
+	// path: the maximum over workers, not the sum); the *WallNS fields
+	// are measured host wall time per phase. None of these participate
+	// in CountsEqual.
+	Workers       int
+	Shards        []ShardReport
+	ScanCycles    int64
+	MergeCycles   int64
+	RebuildCycles int64
+	VerifyCycles  int64
+	ScanWallNS    int64
+	MergeWallNS   int64
+	RebuildWallNS int64
+	VerifyWallNS  int64
 
 	// Shadow-accelerated recovery (Anubis fast path; only populated when
 	// the image was written with ShadowTracking enabled).
@@ -85,7 +118,49 @@ func (r *Report) String() string {
 			r.ShadowCtrSuspects, r.ShadowMACSuspects,
 			r.FastRecoverySeconds, r.FullRebuildSeconds)
 	}
+	if r.Workers > 0 {
+		s += fmt.Sprintf("\n  parallel: %d workers; phases scan=%dcyc merge=%dcyc rebuild=%dcyc verify=%dcyc",
+			r.Workers, r.ScanCycles, r.MergeCycles, r.RebuildCycles, r.VerifyCycles)
+		for _, sh := range r.Shards {
+			s += fmt.Sprintf("\n  shard %d: %d entries (%d ctr + %d mac merged, %d stale), %dcyc",
+				sh.Shard, sh.Entries, sh.MergedCtr, sh.MergedMAC, sh.SkippedStale, sh.MergeCycles)
+		}
+	}
 	return s
+}
+
+// ShardReport is one merge shard's slice of a parallel recovery run.
+type ShardReport struct {
+	// Shard is the shard index in [0, Workers).
+	Shard int
+	// Entries is how many PUB entries hashed to this shard.
+	Entries int64
+	// MergedCtr / MergedMAC / SkippedStale split Entries by outcome,
+	// with the same meaning as the whole-run counters.
+	MergedCtr    int64
+	MergedMAC    int64
+	SkippedStale int64
+	// MergeCycles is the shard's modeled merge cost; WallNS the measured
+	// host wall time its worker spent merging.
+	MergeCycles int64
+	WallNS      int64
+}
+
+// CountsEqual reports whether two runs recovered the same state: every
+// semantic counter and the verification outcome must match. Timing
+// (modeled cycles, wall clock) and parallel-engine shape (Workers,
+// Shards, per-phase breakdowns) are ignored, so a serial and a parallel
+// run over the same image compare equal exactly when they did the same
+// work.
+func (r *Report) CountsEqual(o *Report) bool {
+	return r.PUBBlocks == o.PUBBlocks &&
+		r.PUBEntries == o.PUBEntries &&
+		r.MergedCtr == o.MergedCtr &&
+		r.MergedMAC == o.MergedMAC &&
+		r.SkippedStale == o.SkippedStale &&
+		r.RootVerified == o.RootVerified &&
+		r.ShadowCtrSuspects == o.ShadowCtrSuspects &&
+		r.ShadowMACSuspects == o.ShadowMACSuspects
 }
 
 // Recover restores a crashed device image in place and verifies it. The
@@ -104,13 +179,13 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 
 	savedRoot, err := core.LoadRoot(cfg.BlockSize, lay.CtlBase, dev.Peek)
 	if err != nil {
-		return nil, fmt.Errorf("recovery: no persisted root: %w", err)
+		return nil, fmt.Errorf("%w: no persisted root: %v", ErrNoControlState, err)
 	}
 
 	if cfg.Scheme.IsThoth() {
 		ring := pub.NewRing(lay, dev)
 		if err := ring.LoadCtl(); err != nil {
-			return nil, fmt.Errorf("recovery: %w", err)
+			return nil, fmt.Errorf("%w: %v", ErrNoControlState, err)
 		}
 		rep.PUBBlocks = ring.Len()
 		// Per-entry cost along the Section IV-D model (EstimateCycles):
@@ -133,22 +208,7 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 	}
 
 	if cfg.ShadowTracking {
-		ctrSus, macSus := core.ShadowSuspects(lay, dev.Peek)
-		rep.ShadowCtrSuspects = int64(len(ctrSus))
-		rep.ShadowMACSuspects = int64(len(macSus))
-		var written int64
-		dev.ForEachWritten(lay.CtrBase, lay.CtrBytes, func(int64, []byte) { written++ })
-		read := cfg.ReadLatencyCycles()
-		write := cfg.WriteLatencyCycles()
-		hash := int64(cfg.HashLatencyCycles)
-		levels := int64(lay.TreeLevels())
-		perBlock := read + levels*hash + write
-		shadowReads := (lay.ShadowBytes/int64(cfg.BlockSize) + 1) * read
-		fast := rep.EstimatedCycles + shadowReads +
-			(rep.ShadowCtrSuspects+rep.ShadowMACSuspects)*perBlock
-		full := rep.EstimatedCycles + written*(read+levels*hash)
-		rep.FastRecoverySeconds = float64(fast) / (cfg.CPUFreqGHz * 1e9)
-		rep.FullRebuildSeconds = float64(full) / (cfg.CPUFreqGHz * 1e9)
+		estimateShadow(cfg, lay, dev, rep)
 	}
 
 	rep.RootVerified = bmt.Verify(lay, eng, dev, savedRoot)
@@ -158,10 +218,37 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 	return rep, nil
 }
 
+// estimateShadow fills the Anubis-shadow-table recovery estimates
+// (suspect counts, fast-path vs full-rebuild seconds); shared by the
+// serial and parallel paths since it only reads the image.
+func estimateShadow(cfg config.Config, lay *layout.Layout, dev *nvm.Device, rep *Report) {
+	ctrSus, macSus := core.ShadowSuspects(lay, dev.Peek)
+	rep.ShadowCtrSuspects = int64(len(ctrSus))
+	rep.ShadowMACSuspects = int64(len(macSus))
+	var written int64
+	dev.ForEachWritten(lay.CtrBase, lay.CtrBytes, func(int64, []byte) { written++ })
+	read := cfg.ReadLatencyCycles()
+	write := cfg.WriteLatencyCycles()
+	hash := int64(cfg.HashLatencyCycles)
+	levels := int64(lay.TreeLevels())
+	perBlock := read + levels*hash + write
+	shadowReads := (lay.ShadowBytes/int64(cfg.BlockSize) + 1) * read
+	fast := rep.EstimatedCycles + shadowReads +
+		(rep.ShadowCtrSuspects+rep.ShadowMACSuspects)*perBlock
+	full := rep.EstimatedCycles + written*(read+levels*hash)
+	rep.FastRecoverySeconds = float64(fast) / (cfg.CPUFreqGHz * 1e9)
+	rep.FullRebuildSeconds = float64(full) / (cfg.CPUFreqGHz * 1e9)
+}
+
 // mergeEntry applies one partial update if it proves fresh against the
 // in-place ciphertext. cyc is the modeled recovery cycle stamped on the
-// emitted KindRecoveryMerge event.
-func mergeEntry(cfg config.Config, lay *layout.Layout, eng *crypt.Engine, dev *nvm.Device, e pub.Entry, rep *Report, cyc int64) {
+// emitted KindRecoveryMerge event. dev is a blockStore so the serial
+// device and the parallel per-worker shard handles share this code:
+// parallel determinism rests on every read and write here targeting
+// blocks owned by the entry's shard group (the data ciphertext is
+// read-only during merging, and the counter/MAC home blocks define the
+// group).
+func mergeEntry(cfg config.Config, lay *layout.Layout, eng *crypt.Engine, dev blockStore, e pub.Entry, rep *Report, cyc int64) {
 	dataAddr := int64(e.BlockIndex) * int64(cfg.BlockSize)
 	emit := func(detail string) {
 		if cfg.Tracer == nil {
@@ -242,4 +329,27 @@ func EstimateCycles(cfg config.Config, pubBlocks int64) int64 {
 // EstimateSeconds converts EstimateCycles to wall-clock seconds.
 func EstimateSeconds(cfg config.Config, pubBlocks int64) float64 {
 	return float64(EstimateCycles(cfg, pubBlocks)) / (cfg.CPUFreqGHz * 1e9)
+}
+
+// EstimateCyclesParallel models sharded recovery: the PUB scan stays
+// sequential (one block read per PUB block, in FIFO order), while the
+// per-entry verify-then-merge work — which dominates, at two MAC
+// computations plus three reads and two writes per entry — divides
+// across the workers. Workers <= 1 reduces to EstimateCycles exactly.
+func EstimateCyclesParallel(cfg config.Config, pubBlocks int64, workers int) int64 {
+	if workers <= 1 {
+		return EstimateCycles(cfg, pubBlocks)
+	}
+	read := cfg.ReadLatencyCycles()
+	write := cfg.WriteLatencyCycles()
+	hash := int64(cfg.HashLatencyCycles)
+	perEntry := 3*read + 2*hash + 2*write
+	entries := pubBlocks * int64(cfg.PartialsPerBlock())
+	merge := (entries*perEntry + int64(workers) - 1) / int64(workers)
+	return pubBlocks*read + merge
+}
+
+// EstimateSecondsParallel converts EstimateCyclesParallel to seconds.
+func EstimateSecondsParallel(cfg config.Config, pubBlocks int64, workers int) float64 {
+	return float64(EstimateCyclesParallel(cfg, pubBlocks, workers)) / (cfg.CPUFreqGHz * 1e9)
 }

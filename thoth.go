@@ -88,6 +88,14 @@ type RecoveryReport = recovery.Report
 // root does not match the persisted root (tampering or corruption).
 var ErrRootMismatch = recovery.ErrRootMismatch
 
+// ErrNoControlState is returned by Recover and RecoverParallel when the
+// image carries no usable ADR control state (missing or corrupt root
+// block or PUB ring bounds). Test with errors.Is.
+var ErrNoControlState = recovery.ErrNoControlState
+
+// RecoverOpts configures RecoverParallel.
+type RecoverOpts = recovery.RecoverOpts
+
 // Stats is the run-statistics block (write categories, PUB eviction
 // outcomes, cache hit rates, stall cycles).
 type Stats = stats.Stats
@@ -140,6 +148,11 @@ const (
 	// TraceRecoveryMerge: recovery processed one PUB entry. Detail says
 	// what merged (ctr+mac, ctr, mac, noop, stale, out-of-range).
 	TraceRecoveryMerge = obs.KindRecoveryMerge
+	// TraceRecoveryPhase: a recovery phase boundary (Part is scan, merge,
+	// rebuild or verify; Detail is begin or end; Aux is 0 for the whole
+	// phase, shard+1 for a parallel worker's slice). The Chrome exporter
+	// renders these as duration spans on per-shard tracks.
+	TraceRecoveryPhase = obs.KindRecoveryPhase
 )
 
 // TraceRing is a bounded in-memory tracer keeping the most recent
@@ -412,10 +425,27 @@ func Recover(cfg Config, dev *Device) (*RecoveryReport, error) {
 	return recovery.Recover(cfg, dev)
 }
 
+// RecoverParallel is Recover with the PUB merge and tree rebuild sharded
+// across worker goroutines (opts.Workers; <= 0 means GOMAXPROCS). It
+// produces a byte-identical device image, the same sentinel errors, and
+// an equal report (Report.CountsEqual) as the serial Recover for any
+// worker count; the report additionally carries the per-shard and
+// per-phase breakdowns.
+func RecoverParallel(cfg Config, dev *Device, opts RecoverOpts) (*RecoveryReport, error) {
+	return recovery.RecoverParallel(cfg, dev, opts)
+}
+
 // EstimateRecoverySeconds models the added recovery time for a PUB of
 // the configured size (Section IV-D; ~7s for the default 64MB PUB).
 func EstimateRecoverySeconds(cfg Config) float64 {
 	return recovery.EstimateSeconds(cfg, cfg.PUBBlocks())
+}
+
+// EstimateParallelRecoverySeconds is EstimateRecoverySeconds under the
+// sharded model: the PUB scan stays sequential, the per-entry
+// verify-then-merge work divides across workers.
+func EstimateParallelRecoverySeconds(cfg Config, workers int) float64 {
+	return recovery.EstimateSecondsParallel(cfg, cfg.PUBBlocks(), workers)
 }
 
 // Region is one contiguous range of the NVM address map.
