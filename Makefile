@@ -7,9 +7,9 @@ SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
 TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
 
-.PHONY: ci vet build test race crashfuzz parallel-diff trace-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz parallel-diff trace-smoke metrics-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke sweep-1000
 
-ci: vet build test race crashfuzz parallel-diff trace-smoke bench-alloc bench-json
+ci: vet build test race crashfuzz parallel-diff trace-smoke metrics-smoke bench-alloc bench-json
 
 vet:
 	$(GO) vet ./...
@@ -41,11 +41,21 @@ trace-smoke:
 	$(GO) run ./cmd/thothsim -workload btree -warmup 200 -txs 600 -setup 1024 -pub 256 -trace $(TRACE_FILE)
 	$(GO) run ./cmd/tracecheck $(TRACE_FILE)
 
+# End-to-end smoke of the live observability stack: the serve-mode
+# golden /metrics scrape (validated Prometheus exposition), the /statsz
+# and /debug endpoints, the serve-vs-replay differential, and the
+# tracemetrics CLI replay differential.
+metrics-smoke:
+	$(GO) test ./cmd/thothsim -run 'TestServe|TestRunServe' -count=1
+	$(GO) test ./cmd/tracemetrics -count=1
+
 # Prove the zero-allocation hot paths stay that way: the disabled-tracer
-# emit and the steady-state secure read must both report 0 allocs/op
-# (TestReadHitZeroAlloc and TestTracerDisabledZeroAlloc assert the 0).
+# emit, the steady-state secure read, histogram Observe, and the
+# tracer-to-metrics adapter must all report 0 allocs/op (the matching
+# Test*ZeroAlloc funcs assert the 0; the benchmarks report it).
 bench-alloc:
 	$(GO) test ./internal/core -run 'TestTracerDisabledZeroAlloc|TestReadHitZeroAlloc' -bench 'BenchmarkTracerDisabled|BenchmarkReadHit' -benchtime 10000x
+	$(GO) test ./internal/metrics -run 'TestObserveZeroAlloc|TestFromTracerZeroAlloc' -bench 'BenchmarkHistogramObserve|BenchmarkFromTracer' -benchtime 100000x
 
 # Benchmark-regression gate: re-measure the suite and compare against
 # the committed baseline (fails on >15% ns/op or ANY allocs/op

@@ -4,10 +4,11 @@
 // Two kinds of benchmarks are measured with testing.Benchmark:
 //
 //   - micro: the controller hot paths (steady-state secure read and
-//     persist) and their dominant primitives (keyed MAC, counter-mode
-//     pad XOR, PUB entry bit-packing). These carry the tentpole's
-//     zero-allocation guarantee: allocs/op is part of the baseline and
-//     ANY increase is a failure.
+//     persist), their dominant primitives (keyed MAC, counter-mode
+//     pad XOR, PUB entry bit-packing), and the observability hot paths
+//     (histogram Observe, the tracer-to-metrics adapter). These carry
+//     the zero-allocation guarantee: allocs/op is part of the baseline
+//     and ANY increase is a failure.
 //   - figure: one quick-scale end-to-end experiment run per scheme, the
 //     wall-clock proxy for the paper-figure generators.
 //
@@ -34,7 +35,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypt"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/pub"
 	"repro/internal/recovery"
 )
@@ -167,6 +170,25 @@ func suite() []bench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pub.PackBlockInto(out, entries)
+			}
+		}},
+		{"micro/metrics_observe", func(b *testing.B) {
+			reg := metrics.New()
+			h := reg.Histogram("bench_cycles", "Benchmark histogram.")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Observe(int64(i & 0xFFFF))
+			}
+		}},
+		{"micro/metrics_tracer", func(b *testing.B) {
+			reg := metrics.New()
+			ad := metrics.FromTracer(reg)
+			ev := obs.Event{Kind: obs.KindWPQDrain, Cycle: 100, Addr: 0x80, Aux: 12, Scheme: "thoth-wtsc", Detail: obs.DrainAge}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ad.Emit(ev)
 			}
 		}},
 		{"recovery/pub25_serial", benchRecovery(0.25, 0)},

@@ -8,6 +8,14 @@
 //	thothsim -workload btree -scheme thoth-wtsc
 //	thothsim -workload swap -scheme baseline -block 256 -tx 512
 //	thothsim -workload rbtree -scheme thoth-wtsc -crash  # crash + recover
+//
+// The serve subcommand turns the batch simulator into an observable
+// long-running process: it runs workload rounds forever (or for
+// -rounds) while serving live Prometheus metrics, a JSON stats
+// snapshot, expvar and pprof over HTTP:
+//
+//	thothsim serve -addr 127.0.0.1:8077 -workload btree
+//	curl localhost:8077/metrics
 package main
 
 import (
@@ -39,6 +47,9 @@ func parseScheme(s string) (config.Scheme, error) {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("thothsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	wl := fs.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")

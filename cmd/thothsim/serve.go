@@ -1,0 +1,253 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// serveSim is the long-running simulation behind `thothsim serve`: a
+// harness runner driven in rounds of transactions, feeding one metrics
+// registry through both seams (the FromTracer adapter for event-derived
+// metrics, Config.Metrics for the controller's native histograms). The
+// registry is built on atomics, so HTTP handlers read it concurrently
+// with the simulation; the /statsz snapshot is copied under a mutex at
+// round boundaries because stats.Stats itself is not atomic.
+type serveSim struct {
+	reg      *metrics.Registry
+	runner   *harness.Runner
+	cfg      config.Config
+	workload string
+	roundTxs int
+
+	mu     sync.Mutex
+	snap   stats.Stats
+	rounds int64
+	txs    int64
+	cycle  int64
+}
+
+// newServeSim builds the runner (setup + warm-up + Thoth PUB prefill +
+// stats reset, mirroring harness.Run's measurement protocol) with the
+// registry attached. extra, when non-nil, also receives every event —
+// the differential test uses it to record the JSONL trace that
+// cmd/tracemetrics replays.
+func newServeSim(cfg config.Config, workload string, setupKeys, warmupTxs, roundTxs int, extra obs.Tracer) (*serveSim, error) {
+	if roundTxs <= 0 {
+		return nil, fmt.Errorf("serve: round size %d must be positive", roundTxs)
+	}
+	reg := metrics.New()
+	var tr obs.Tracer = metrics.FromTracer(reg)
+	if extra != nil {
+		tr = obs.Multi(extra, tr)
+	}
+	r, err := harness.NewRunner(harness.RunConfig{
+		Config:    cfg,
+		Workload:  workload,
+		SetupKeys: setupKeys,
+		Tracer:    tr,
+		Metrics:   reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Setup()
+	if warmupTxs > 0 {
+		r.RunTxs(warmupTxs)
+	}
+	if cfg.Scheme.IsThoth() {
+		if err := r.Controller().PrefillPUB(); err != nil {
+			return nil, fmt.Errorf("serve: prefill: %w", err)
+		}
+	}
+	r.Controller().ResetStats()
+	s := &serveSim{
+		reg:      reg,
+		runner:   r,
+		cfg:      cfg,
+		workload: workload,
+		roundTxs: roundTxs,
+	}
+	s.publishSnap()
+	return s, nil
+}
+
+// round executes one round of transactions and refreshes the /statsz
+// snapshot.
+func (s *serveSim) round() {
+	s.runner.RunTxs(s.roundTxs)
+	s.runner.Controller().SyncStats()
+	s.publishSnap()
+}
+
+func (s *serveSim) publishSnap() {
+	snap := *s.runner.Controller().Stats()
+	s.mu.Lock()
+	if s.rounds > 0 { // the constructor's publish precedes any round
+		s.txs += int64(s.roundTxs)
+	}
+	// The controller does not count transactions (harness.Run stamps
+	// them from its own config); the serve loop is the driver here, so
+	// it owns the tally.
+	snap.Transactions = s.txs
+	s.snap = snap
+	s.rounds++
+	s.cycle = s.runner.Now()
+	s.mu.Unlock()
+}
+
+// statsz is the JSON document served at /statsz.
+type statsz struct {
+	Scheme       string  `json:"scheme"`
+	Workload     string  `json:"workload"`
+	Rounds       int64   `json:"rounds"`
+	Cycle        int64   `json:"cycle"`
+	Transactions int64   `json:"transactions"`
+	TotalWrites  int64   `json:"total_writes"`
+	NVMReads     int64   `json:"nvm_reads"`
+	CtrHitRate   float64 `json:"ctr_hit_rate"`
+	MACHitRate   float64 `json:"mac_hit_rate"`
+	MTHitRate    float64 `json:"mt_hit_rate"`
+	PCBMergeRate float64 `json:"pcb_merge_rate"`
+	WPQStalls    int64   `json:"wpq_stall_cycles"`
+	PUBEvictions int64   `json:"pub_evictions"`
+	CtrOverflows int64   `json:"ctr_overflows"`
+}
+
+func (s *serveSim) statsz() statsz {
+	s.mu.Lock()
+	snap, rounds, cycle := s.snap, s.rounds, s.cycle
+	s.mu.Unlock()
+	return statsz{
+		Scheme:       s.cfg.Scheme.String(),
+		Workload:     s.workload,
+		Rounds:       rounds - 1, // the constructor's initial publish is round 0
+		Cycle:        cycle,
+		Transactions: snap.Transactions,
+		TotalWrites:  snap.TotalWrites(),
+		NVMReads:     snap.NVMReads,
+		CtrHitRate:   snap.CtrHitRate(),
+		MACHitRate:   snap.MACHitRate(),
+		MTHitRate:    snap.MTHitRate(),
+		PCBMergeRate: snap.PCBMergeRate(),
+		WPQStalls:    snap.WPQStallCycles,
+		PUBEvictions: snap.PUBEvictions,
+		CtrOverflows: snap.CtrOverflows,
+	}
+}
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// mux builds the serve-mode HTTP handler: /metrics (Prometheus text
+// format), /statsz (JSON snapshot), /debug/vars (expvar, including the
+// registry bridge) and /debug/pprof/*.
+func (s *serveSim) mux() *http.ServeMux {
+	metrics.Publish("thoth", s.reg)
+	m := http.NewServeMux()
+	m.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		if err := metrics.WriteProm(w, s.reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	m.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.statsz()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	m.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		http.DefaultServeMux.ServeHTTP(w, r) // expvar registers itself there
+	})
+	return m
+}
+
+// runServe implements the `thothsim serve` subcommand: boot the
+// simulation, expose it over HTTP, and run workload rounds until the
+// round budget is exhausted (-rounds) or an interrupt arrives
+// (-rounds 0).
+func runServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("thothsim serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address (host:port; port 0 picks a free port)")
+	wl := fs.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
+	schemeStr := fs.String("scheme", "thoth-wtsc", "persistence scheme")
+	block := fs.Int("block", 128, "cache block size in bytes (64|128|256)")
+	tx := fs.Int("tx", 128, "transaction size in bytes")
+	setup := fs.Int("setup", 16384, "benchmark population")
+	warmup := fs.Int("warmup", 1200, "warm-up transactions (before metrics reset)")
+	round := fs.Int("round", 2000, "transactions per serving round")
+	rounds := fs.Int("rounds", 0, "rounds to run before exiting (0 = until interrupted)")
+	pubKiB := fs.Int64("pub", 1024, "PUB size in KiB")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "thothsim serve:", err)
+		return 1
+	}
+	cfg := config.Default().
+		WithScheme(scheme).
+		WithBlockSize(*block).
+		WithTxSize(*tx)
+	cfg.MemBytes = 1 << 30
+	cfg.PUBBytes = *pubKiB << 10
+	cfg.LLCBytes = 1 << 20
+
+	sim, err := newServeSim(cfg, *wl, *setup, *warmup, *round, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "thothsim serve:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "thothsim serve:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: sim.mux()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(stdout, "serving workload=%s scheme=%v on http://%s  (/metrics /statsz /debug/pprof/ /debug/vars)\n",
+		*wl, scheme, ln.Addr())
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+
+	for n := 0; *rounds == 0 || n < *rounds; n++ {
+		select {
+		case <-interrupt:
+			fmt.Fprintln(stdout, "interrupted; shutting down")
+			return 0
+		default:
+		}
+		sim.round()
+	}
+	fmt.Fprintf(stdout, "completed %d rounds (%d txs) at cycle %d\n",
+		*rounds, *rounds**round, sim.runner.Now())
+	return 0
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// serveTestConfig is the fixed tiny configuration every serve test (and
+// the metrics-smoke golden) uses — small enough to run in well under a
+// second, deterministic because the whole simulation is seeded and
+// cycle-modeled.
+func serveTestConfig() config.Config {
+	cfg := config.Default().WithScheme(config.ThothWTSC)
+	cfg.MemBytes = 1 << 30
+	cfg.PUBBytes = 256 << 10
+	cfg.LLCBytes = 1 << 20
+	return cfg
+}
+
+func newTestSim(t *testing.T, extra obs.Tracer) *serveSim {
+	t.Helper()
+	sim, err := newServeSim(serveTestConfig(), "btree", 512, 100, 200, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestServeMetricsGolden is the metrics-smoke gate: boot the serve-mode
+// simulation, run a fixed number of rounds, scrape /metrics over HTTP,
+// validate it with the exposition parser, and compare byte-for-byte
+// against the committed golden.
+func TestServeMetricsGolden(t *testing.T) {
+	sim := newTestSim(t, nil)
+	sim.round()
+	sim.round()
+	srv := httptest.NewServer(sim.mux())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, promContentType)
+	}
+	n, err := metrics.ValidateProm(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape failed exposition validation: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("scrape contained no samples")
+	}
+
+	path := filepath.Join("testdata", "serve_metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("/metrics drifted from golden (run with -update to regenerate)\ngot:\n%s", body)
+	}
+}
+
+func TestServeStatsz(t *testing.T) {
+	sim := newTestSim(t, nil)
+	sim.round()
+	srv := httptest.NewServer(sim.mux())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /statsz: %s", resp.Status)
+	}
+	var got statsz
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("/statsz is not valid JSON: %v\n%s", err, body)
+	}
+	if got.Scheme != "thoth-wtsc" || got.Workload != "btree" {
+		t.Errorf("statsz identity = %s/%s", got.Scheme, got.Workload)
+	}
+	if got.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", got.Rounds)
+	}
+	if got.Transactions != 200 { // one round of the test's roundTxs
+		t.Errorf("transactions = %d, want 200", got.Transactions)
+	}
+	if got.Cycle <= 0 || got.TotalWrites <= 0 {
+		t.Errorf("statsz progress not positive: cycle=%d writes=%d", got.Cycle, got.TotalWrites)
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	sim := newTestSim(t, nil)
+	srv := httptest.NewServer(sim.mux())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %s", resp.Status)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index missing profile listing:\n%s", body)
+	}
+
+	resp, body = get(t, srv, "/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars: %s", resp.Status)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := vars["thoth"]; !ok {
+		t.Errorf("/debug/vars missing the published registry bridge")
+	}
+}
+
+// TestServeDifferential pins live == replay: the serve-mode registry's
+// tracer-derived families must be byte-identical (same counter values,
+// same histogram bucket counts) to a tracemetrics-style replay of the
+// JSONL trace of the same seeded run.
+func TestServeDifferential(t *testing.T) {
+	var trace bytes.Buffer
+	jsonl := obs.NewJSONL(&trace)
+	sim := newTestSim(t, jsonl)
+	sim.round()
+	sim.round()
+	if err := jsonl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayReg := metrics.New()
+	ad := metrics.FromTracer(replayReg)
+	if _, err := obs.DecodeJSONL(bytes.NewReader(trace.Bytes()), ad.Emit); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+
+	keep := func(name string) bool {
+		for _, f := range metrics.TracerFamilies {
+			if f == name {
+				return true
+			}
+		}
+		return false
+	}
+	var live, replay bytes.Buffer
+	if err := metrics.WritePromSelected(&live, sim.reg, keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WritePromSelected(&replay, replayReg, keep); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != replay.String() {
+		t.Errorf("live registry and trace replay diverge\nlive:\n%s\nreplay:\n%s", live.String(), replay.String())
+	}
+	if !strings.Contains(live.String(), "thoth_events_total") {
+		t.Fatal("differential compared an empty exposition")
+	}
+}
+
+// TestRunServeCLI drives the real subcommand end to end: flag parsing,
+// listening on an ephemeral port, a bounded round budget, clean exit.
+func TestRunServeCLI(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"serve", "-addr", "127.0.0.1:0", "-rounds", "2", "-round", "50",
+		"-setup", "64", "-warmup", "5", "-pub", "64", "-workload", "swap",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, want := range []string{"serving workload=swap", "/metrics", "completed 2 rounds"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunServeRejectsBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"serve", "-scheme", "nonsense"}, &out, &errw); code != 1 {
+		t.Fatalf("bad scheme: exit %d, want 1", code)
+	}
+	if code := run([]string{"serve", "-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"serve", "-round", "0", "-rounds", "1"}, &out, &errw); code != 1 {
+		t.Fatalf("zero round size: exit %d, want 1", code)
+	}
+}

@@ -60,6 +60,38 @@ func TestInvalidTrace(t *testing.T) {
 	}
 }
 
+// TestRejectsUndeclaredKind is the regression fixture for kind-range
+// validation: an event whose Kind has no declared constant serializes
+// as the "kind(N)" placeholder, and tracecheck must reject it rather
+// than count it. The fixture is committed so the guarantee survives
+// refactors of the Kind enum or the validator.
+func TestRejectsUndeclaredKind(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{filepath.Join("testdata", "badkind.jsonl")}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout: %s", code, out.String())
+	}
+	if !strings.Contains(errw.String(), "line 2") || !strings.Contains(errw.String(), "unknown kind") {
+		t.Errorf("stderr should flag line 2's undeclared kind: %s", errw.String())
+	}
+
+	// The same guarantee end to end: a live tracer fed an out-of-range
+	// Kind produces a trace tracecheck rejects.
+	path := filepath.Join(t.TempDir(), "live.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONL(f)
+	sink.Emit(obs.Event{Kind: obs.Kind(12), Cycle: 1, Addr: 0, Scheme: "thoth-wtsc"})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if code := run([]string{path}, &out, &errw); code != 1 {
+		t.Fatalf("live out-of-range kind: exit %d, want 1", code)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run(nil, &out, &errw); code != 2 {

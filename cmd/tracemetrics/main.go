@@ -1,0 +1,89 @@
+// Command tracemetrics replays a JSONL controller event trace (as
+// written by `thothsim -trace run.jsonl` or the experiments driver)
+// into the same metrics registry the live `thothsim serve` mode feeds,
+// and prints the result — so the post-hoc view of a run and the live
+// view agree metric-for-metric (the serve-mode differential test pins
+// this).
+//
+// Usage:
+//
+//	tracemetrics run.jsonl             # Prometheus text format
+//	tracemetrics -format expvar run.jsonl
+//	tracemetrics -format summary run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// replay folds every event of the JSONL stream in r into a fresh
+// registry via the same FromTracer adapter the serve mode uses.
+func replay(r io.Reader) (*metrics.Registry, int, error) {
+	reg := metrics.New()
+	ad := metrics.FromTracer(reg)
+	n, err := obs.DecodeJSONL(r, ad.Emit)
+	return reg, n, err
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracemetrics", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "prom", "output format: prom|expvar|summary")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: tracemetrics [-format prom|expvar|summary] trace.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	switch *format {
+	case "prom", "expvar", "summary":
+	default:
+		fmt.Fprintf(stderr, "tracemetrics: unknown format %q (prom|expvar|summary)\n", *format)
+		return 2
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "tracemetrics:", err)
+		return 1
+	}
+	defer f.Close()
+
+	reg, n, err := replay(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracemetrics:", err)
+		return 1
+	}
+
+	switch *format {
+	case "prom":
+		if err := metrics.WriteProm(stdout, reg); err != nil {
+			fmt.Fprintln(stderr, "tracemetrics:", err)
+			return 1
+		}
+	case "expvar":
+		fmt.Fprintln(stdout, metrics.ExpvarVar(reg).String())
+	case "summary":
+		fmt.Fprintf(stdout, "events=%d families=%d\n", n, len(reg.FamilyNames()))
+		for _, name := range reg.FamilyNames() {
+			fmt.Fprintf(stdout, "  %s\n", name)
+		}
+	default:
+		fmt.Fprintf(stderr, "tracemetrics: unknown format %q (prom|expvar|summary)\n", *format)
+		return 2
+	}
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

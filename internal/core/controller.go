@@ -31,6 +31,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/crypt"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/pub"
@@ -72,6 +73,15 @@ type Controller struct {
 	// formats strings.
 	tr        obs.Tracer
 	schemeTag string
+
+	// Native metrics handles, resolved once from cfg.Metrics in attach
+	// (nil when metrics are disabled). These cover the two signals the
+	// event stream cannot derive: the write critical-path latency needs
+	// the PersistBlock entry cycle, and the PUB occupancy gauge needs
+	// the live ring length. Observing is atomic adds only — the hot
+	// path stays allocation-free either way.
+	mWriteCycles *metrics.Histogram
+	mPUBOcc      *metrics.Gauge
 
 	crashed bool
 	// inADRFlush marks the residual-power drain at crash/shutdown:
@@ -183,6 +193,16 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 	c.q = wpq.New(mem, qEntries, drainAt, cfg.WriteLatencyCycles())
 	c.q.Tracer = cfg.Tracer
 	c.q.Scheme = c.schemeTag
+	if cfg.Metrics != nil {
+		c.mWriteCycles = cfg.Metrics.Histogram("thoth_write_cycles",
+			"Critical-path cycles per PersistBlock (entry to durability).",
+			metrics.Label{Key: "scheme", Value: c.schemeTag})
+		if cfg.Scheme.IsThoth() {
+			c.mPUBOcc = cfg.Metrics.Gauge("thoth_pub_occupancy_blocks",
+				"Live PUB ring occupancy in packed blocks.",
+				metrics.Label{Key: "scheme", Value: c.schemeTag})
+		}
+	}
 	if cfg.Scheme.IsThoth() && cfg.PCBAfterWPQ {
 		c.afterEntries = make(map[int64][]pub.Entry)
 		c.q.OnIssue = c.afterIssue

@@ -14,6 +14,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/llc"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -41,6 +42,10 @@ type RunConfig struct {
 	// Tracer, when non-nil, receives every controller event of the run
 	// (setup, warm-up and measurement alike). It overrides Config.Tracer.
 	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the controller's native
+	// instrumentation (write critical-path cycles, PUB occupancy) for
+	// the whole run. It overrides Config.Metrics.
+	Metrics *metrics.Registry
 }
 
 // Result is the outcome of one run.
@@ -87,6 +92,9 @@ type Runner struct {
 func NewRunner(rc RunConfig) (*Runner, error) {
 	if rc.Tracer != nil {
 		rc.Config.Tracer = rc.Tracer
+	}
+	if rc.Metrics != nil {
+		rc.Config.Metrics = rc.Metrics
 	}
 	ctl, err := core.New(rc.Config)
 	if err != nil {

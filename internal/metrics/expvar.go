@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// expvarVar adapts a Registry to expvar.Var: String renders the whole
+// registry as one JSON object keyed by family name + rendered labels.
+type expvarVar struct {
+	r *Registry
+}
+
+// ExpvarVar wraps the registry as an expvar.Var. Counters and gauges
+// render as numbers; histograms as
+// {"count":N,"sum":S,"mean":M,"p50":...,"p99":...} using the log2
+// bucket upper bounds (each quantile is exact to within one bucket).
+func ExpvarVar(r *Registry) expvar.Var { return expvarVar{r} }
+
+// String implements expvar.Var.
+func (v expvarVar) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	v.r.each(func(f *family, s *series) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:", f.name+s.labels)
+		switch m := s.value.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "%d", m.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "%d", m.Value())
+		case *Histogram:
+			fmt.Fprintf(&b, `{"count":%d,"sum":%d,"mean":%s,"p50":%s,"p99":%s}`,
+				m.Count(), m.Sum(), jsonFloat(m.Mean()),
+				jsonFloat(m.Quantile(0.5)), jsonFloat(m.Quantile(0.99)))
+		}
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// jsonFloat renders a float as JSON; +Inf (overflow-bucket quantiles)
+// has no JSON literal, so it is rendered as the string "+Inf".
+func jsonFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return `"+Inf"`
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+var publishMu sync.Mutex
+
+// Publish registers the registry with the process-global expvar map
+// under name. expvar.Publish panics on duplicate names, so Publish is
+// guarded and idempotent: republishing the same name replaces nothing
+// and returns false; the first publication returns true. (expvar offers
+// no unpublish, hence replace-on-republish is not possible.)
+func Publish(name string, r *Registry) bool {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, ExpvarVar(r))
+	return true
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestExpvarVarJSON(t *testing.T) {
+	r := New()
+	r.Counter("hits_total", "Hits.", Label{"kind", "a"}).Add(3)
+	r.Gauge("depth", "Depth.").Set(-7)
+	h := r.Histogram("lat_cycles", "Latency.")
+	h.Observe(10)
+	h.Observe(20)
+	var got map[string]any
+	if err := json.Unmarshal([]byte(ExpvarVar(r).String()), &got); err != nil {
+		t.Fatalf("expvar output is not valid JSON: %v", err)
+	}
+	if v, ok := got[`hits_total{kind="a"}`].(float64); !ok || v != 3 {
+		t.Errorf("counter = %v, want 3", got[`hits_total{kind="a"}`])
+	}
+	if v, ok := got["depth"].(float64); !ok || v != -7 {
+		t.Errorf("gauge = %v, want -7", got["depth"])
+	}
+	hist, ok := got["lat_cycles"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram = %T, want object", got["lat_cycles"])
+	}
+	if hist["count"].(float64) != 2 || hist["sum"].(float64) != 30 {
+		t.Errorf("histogram count/sum = %v/%v, want 2/30", hist["count"], hist["sum"])
+	}
+}
+
+func TestExpvarVarInfQuantile(t *testing.T) {
+	r := New()
+	r.Histogram("h", "H.").Observe(1 << 50) // overflow-only: quantiles are +Inf
+	var got map[string]any
+	if err := json.Unmarshal([]byte(ExpvarVar(r).String()), &got); err != nil {
+		t.Fatalf("+Inf quantile broke JSON: %v", err)
+	}
+	if got["h"].(map[string]any)["p99"] != "+Inf" {
+		t.Errorf("p99 = %v, want \"+Inf\"", got["h"].(map[string]any)["p99"])
+	}
+}
+
+func TestJSONFloat(t *testing.T) {
+	if jsonFloat(math.Inf(1)) != `"+Inf"` {
+		t.Error("inf not quoted")
+	}
+	if jsonFloat(4) != "4" {
+		t.Errorf("integral float = %s, want 4", jsonFloat(4))
+	}
+	if jsonFloat(2.5) != "2.5" {
+		t.Errorf("fractional float = %s, want 2.5", jsonFloat(2.5))
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	r := New()
+	name := "metrics_test_publish_probe"
+	if !Publish(name, r) {
+		t.Fatal("first publish returned false")
+	}
+	if Publish(name, r) {
+		t.Fatal("second publish of the same name returned true")
+	}
+}

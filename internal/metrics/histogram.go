@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumFiniteBuckets is the number of finite log2 histogram buckets.
+// Bucket 0 holds observations <= 1 (including zero and negatives — the
+// underflow bucket); bucket i (1 <= i < NumFiniteBuckets) holds
+// observations in (2^(i-1), 2^i]. Values above 2^(NumFiniteBuckets-1)
+// land in the overflow (+Inf) bucket. 48 finite buckets cover cycle
+// counts up to 2^47 ≈ 1.4e14 — about ten hours of modeled time at
+// 4 GHz, far beyond any simulated interval.
+const NumFiniteBuckets = 48
+
+// maxFiniteExp is the exponent of the last finite upper bound, 2^47.
+const maxFiniteExp = NumFiniteBuckets - 1
+
+// Histogram is a fixed-bucket log2 histogram of int64 observations.
+// The bucket layout is static (no per-instance configuration), so
+// Observe is a handful of atomic adds: zero heap allocations, safe for
+// concurrent use, and two histograms fed the same observations are
+// bucket-for-bucket identical — the property the live-vs-replay
+// differential test relies on.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumFiniteBuckets + 1]atomic.Int64 // [NumFiniteBuckets] is +Inf
+}
+
+// bucketIndex maps an observation to its bucket: 0 for v <= 1, i for
+// v in (2^(i-1), 2^i], NumFiniteBuckets for the overflow bucket.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// For v in (2^(i-1), 2^i], bits.Len64(v-1) == i.
+	i := bits.Len64(uint64(v - 1))
+	if i > maxFiniteExp {
+		return NumFiniteBuckets
+	}
+	return i
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i
+// (+Inf for the overflow bucket).
+func BucketUpperBound(i int) float64 {
+	if i >= NumFiniteBuckets {
+		return math.Inf(1)
+	}
+	return float64(int64(1) << uint(i))
+}
+
+// Observe records one observation. It never allocates.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket returns the (non-cumulative) count of bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// Snapshot returns a consistent-enough copy of the bucket counts plus
+// count and sum. Concurrent Observe calls may be torn across buckets by
+// at most the observations in flight; the simulator's single writer
+// makes snapshots exact in practice.
+func (h *Histogram) Snapshot() (buckets [NumFiniteBuckets + 1]int64, count, sum int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.count.Load(), h.sum.Load()
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the upper bound
+// of the bucket holding the q-th observation. Because buckets are
+// powers of two, the estimate is off by at most one bucket: it is an
+// upper bound within a factor of 2 of the true value (and exact for
+// values <= 1). Returns 0 for an empty histogram and +Inf when the
+// quantile falls in the overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets, count, _ := h.Snapshot()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(math.Ceil(q * float64(count)))
+	if need < 1 {
+		need = 1
+	}
+	var seen int64
+	for i, n := range buckets {
+		seen += n
+		if seen >= need {
+			return BucketUpperBound(i)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}

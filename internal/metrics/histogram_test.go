@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketBoundaries pins the log2 layout at its edges: each power of
+// two is the inclusive upper bound of its bucket, and the next integer
+// starts the next bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0}, // negatives underflow into bucket 0
+		{-1, 0},
+		{0, 0},
+		{1, 0}, // bucket 0 is v <= 1
+		{2, 1}, // (1,2]
+		{3, 2}, // (2,4]
+		{4, 2},
+		{5, 3},
+		{1023, 10},
+		{1024, 10},
+		{1025, 11},
+		{1 << 46, 46},
+		{1<<46 + 1, 47},
+		{1 << 47, 47},                 // last finite bucket
+		{1<<47 + 1, NumFiniteBuckets}, // first overflow value
+		{math.MaxInt64, NumFiniteBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Exhaustively: every power of two is in its own bucket, one below
+	// shares it, one above moves up.
+	for i := 1; i <= maxFiniteExp; i++ {
+		p := int64(1) << uint(i)
+		if got := bucketIndex(p); got != i {
+			t.Errorf("bucketIndex(2^%d) = %d, want %d", i, got, i)
+		}
+		if got := bucketIndex(p + 1); i < maxFiniteExp && got != i+1 {
+			t.Errorf("bucketIndex(2^%d+1) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	if got := BucketUpperBound(0); got != 1 {
+		t.Errorf("BucketUpperBound(0) = %v, want 1", got)
+	}
+	if got := BucketUpperBound(10); got != 1024 {
+		t.Errorf("BucketUpperBound(10) = %v, want 1024", got)
+	}
+	if got := BucketUpperBound(maxFiniteExp); got != float64(int64(1)<<47) {
+		t.Errorf("BucketUpperBound(%d) = %v, want 2^47", maxFiniteExp, got)
+	}
+	if got := BucketUpperBound(NumFiniteBuckets); !math.IsInf(got, 1) {
+		t.Errorf("BucketUpperBound(overflow) = %v, want +Inf", got)
+	}
+	// Upper bound must be consistent with bucketIndex: every value
+	// observes into a bucket whose upper bound is >= the value.
+	for _, v := range []int64{1, 2, 3, 100, 4096, 1 << 40} {
+		if ub := BucketUpperBound(bucketIndex(v)); float64(v) > ub {
+			t.Errorf("value %d above its bucket bound %v", v, ub)
+		}
+	}
+}
+
+func TestHistogramObserveCountsSums(t *testing.T) {
+	var h Histogram
+	vals := []int64{0, 1, 2, 3, 100, 1 << 20, 1 << 50, -7}
+	var sum int64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Errorf("Sum = %d, want %d", h.Sum(), sum)
+	}
+	if got := h.Bucket(0); got != 3 { // 0, 1, -7
+		t.Errorf("underflow bucket = %d, want 3", got)
+	}
+	if got := h.Bucket(NumFiniteBuckets); got != 1 { // 1<<50
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+	buckets, count, _ := h.Snapshot()
+	var total int64
+	for _, b := range buckets {
+		total += b
+	}
+	if total != count {
+		t.Errorf("bucket total %d != count %d", total, count)
+	}
+}
+
+// TestQuantileErrorBound asserts the documented estimation error: the
+// quantile estimate is the upper bound of the true value's bucket, i.e.
+// off by at most one bucket (a factor of 2).
+func TestQuantileErrorBound(t *testing.T) {
+	var h Histogram
+	// 1..1000: true p50 = 500, true p99 = 990.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, c := range []struct {
+		q    float64
+		true int64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000}} {
+		got := h.Quantile(c.q)
+		wantBucket := bucketIndex(c.true)
+		// Within one bucket: the estimate must be the true bucket's
+		// upper bound — never below the true value, never more than one
+		// bucket (2x its bound) above.
+		if got != BucketUpperBound(wantBucket) {
+			t.Errorf("Quantile(%g) = %v, want bucket bound %v", c.q, got, BucketUpperBound(wantBucket))
+		}
+		if got < float64(c.true) || got > 2*float64(c.true) {
+			t.Errorf("Quantile(%g) = %v outside [true, 2*true] for true=%d", c.q, got, c.true)
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	h.Observe(1 << 50) // overflow only
+	if got := h.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Errorf("overflow Quantile = %v, want +Inf", got)
+	}
+	var h2 Histogram
+	h2.Observe(7)
+	if got := h2.Quantile(-1); got != BucketUpperBound(bucketIndex(7)) {
+		t.Errorf("clamped q<0 Quantile = %v", got)
+	}
+	if got := h2.Quantile(2); got != BucketUpperBound(bucketIndex(7)) {
+		t.Errorf("clamped q>1 Quantile = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", h.Mean())
+	}
+	h.Observe(10)
+	h.Observe(20)
+	if h.Mean() != 15 {
+		t.Errorf("Mean = %v, want 15", h.Mean())
+	}
+}
+
+// TestObserveZeroAlloc is the CI-asserted hot-path guarantee (the
+// benchmark BenchmarkHistogramObserve is gated in BENCH.json too).
+func TestObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := New()
+	c1 := r.Counter("hits_total", "Hits.", Label{"kind", "a"})
+	c2 := r.Counter("hits_total", "Hits.", Label{"kind", "a"})
+	if c1 != c2 {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c3 := r.Counter("hits_total", "Hits.", Label{"kind", "b"})
+	if c1 == c3 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	g1 := r.Gauge("depth", "Depth.")
+	g2 := r.Gauge("depth", "Depth.")
+	if g1 != g2 {
+		t.Fatal("same gauge name returned distinct gauges")
+	}
+	h1 := r.Histogram("lat", "Latency.")
+	h2 := r.Histogram("lat", "Latency.")
+	if h1 != h2 {
+		t.Fatal("same histogram name returned distinct histograms")
+	}
+}
+
+func TestRegistryLabelOrderCanonical(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "X.", Label{"b", "2"}, Label{"a", "1"})
+	b := r.Counter("x_total", "X.", Label{"a", "1"}, Label{"b", "2"})
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	var sb strings.Builder
+	if err := WriteProm(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `x_total{a="1",b="2"}`) {
+		t.Fatalf("labels not rendered in sorted order:\n%s", sb.String())
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("m", "M.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "M.")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, bad := range []string{"", "1abc", "with-dash", "sp ace", "ünicode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", bad)
+				}
+			}()
+			New().Counter(bad, "bad")
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid label name did not panic")
+		}
+	}()
+	New().Counter("ok_total", "ok", Label{"bad-key", "v"})
+}
+
+func TestCounterSemantics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("Value = %d, want 7", g.Value())
+	}
+}
+
+func TestFamilyNamesSorted(t *testing.T) {
+	r := New()
+	r.Counter("zz_total", "z")
+	r.Gauge("aa", "a")
+	r.Histogram("mm", "m")
+	got := r.FamilyNames()
+	want := []string{"aa", "mm", "zz_total"}
+	if len(got) != len(want) {
+		t.Fatalf("FamilyNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FamilyNames = %v, want %v", got, want)
+		}
+	}
+}

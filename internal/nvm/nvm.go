@@ -56,6 +56,11 @@ type Device struct {
 	TotalWrites int64
 	// TotalReads counts every block read.
 	TotalReads int64
+
+	// zero backs View of never-written blocks. Per-device (not a lazily
+	// grown global) so concurrent simulations never race initializing
+	// it; it is allocated once at construction and only ever read.
+	zero []byte
 }
 
 // lockStripes is the number of page-lock stripes (a power of two). Far
@@ -76,6 +81,7 @@ func New(capacity int64, blockSize int) *Device {
 		capacity:  capacity,
 		pages:     make([]*page, numPages),
 		stripes:   new([lockStripes]sync.Mutex),
+		zero:      make([]byte, blockSize),
 	}
 }
 
@@ -126,18 +132,13 @@ func (p *page) blockSlice(idx int64, blockSize int) []byte {
 // read-only by contract and aliases the module: it stays valid
 // indefinitely, but its contents change when the block is next written.
 // Never-written blocks view as zeros.
-var zeroView []byte
-
 func (d *Device) View(addr int64) []byte {
 	idx := d.index(addr)
 	d.TotalReads++
 	if p := d.pageOf(idx); p != nil {
 		return p.blockSlice(idx, d.blockSize)
 	}
-	if len(zeroView) < d.blockSize {
-		zeroView = make([]byte, d.blockSize)
-	}
-	return zeroView[:d.blockSize]
+	return d.zero
 }
 
 // ReadBlockInto copies the block at the given block-aligned byte address

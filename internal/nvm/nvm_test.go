@@ -2,6 +2,7 @@ package nvm
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -14,6 +15,29 @@ func TestReadUnwrittenIsZero(t *testing.T) {
 	if !bytes.Equal(got, make([]byte, 64)) {
 		t.Fatal("unwritten block must read as zeros")
 	}
+}
+
+// TestViewUnwrittenConcurrent pins View's zero-block fallback as safe
+// across independent devices in parallel (the race lane gives this
+// teeth): the backing zero buffer is per-device state allocated at
+// construction, not a lazily initialized global.
+func TestViewUnwrittenConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := newDev()
+			for i := int64(0); i < 64; i++ {
+				v := d.View(i * 64)
+				if len(v) != 64 || v[0] != 0 {
+					t.Errorf("unwritten view wrong: len=%d v[0]=%d", len(v), v[0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestWriteThenRead(t *testing.T) {
@@ -102,14 +126,14 @@ func TestReadRangeCrossesBlocks(t *testing.T) {
 func TestPanicsOnBadAccess(t *testing.T) {
 	d := newDev()
 	cases := []func(){
-		func() { d.ReadBlock(1) },                        // unaligned
-		func() { d.ReadBlock(-64) },                      // negative
-		func() { d.ReadBlock(1 << 20) },                  // out of range
-		func() { d.WriteBlock(0, make([]byte, 63)) },     // short write
-		func() { d.ReadRange(1<<20-4, 8) },               // range overflow
-		func() { New(100, 64) },                          // capacity not multiple
-		func() { New(0, 64) },                            // zero capacity
-		func() { New(1<<20, 0) },                         // zero block
+		func() { d.ReadBlock(1) },                    // unaligned
+		func() { d.ReadBlock(-64) },                  // negative
+		func() { d.ReadBlock(1 << 20) },              // out of range
+		func() { d.WriteBlock(0, make([]byte, 63)) }, // short write
+		func() { d.ReadRange(1<<20-4, 8) },           // range overflow
+		func() { New(100, 64) },                      // capacity not multiple
+		func() { New(0, 64) },                        // zero capacity
+		func() { New(1<<20, 0) },                     // zero block
 	}
 	for i, f := range cases {
 		func() {

@@ -90,6 +90,76 @@ func writeJSONLine(w *bufio.Writer, e Event) error {
 	return err
 }
 
+// DecodeJSONL parses a JSONL event stream (as written by JSONL) and
+// calls fn for each decoded Event. It enforces the same schema as
+// ValidateJSONL — required fields present, no unknown fields, a kind
+// name that KindByName resolves (so events with an undeclared Kind are
+// rejected, never silently replayed), a non-negative cycle — and stops
+// at the first violation, returning the number of events delivered and
+// the error (with its 1-based line number). cmd/tracemetrics uses this
+// to replay a recorded trace into a metrics registry.
+func DecodeJSONL(r io.Reader, fn func(Event)) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	n := 0
+	for line := 1; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var raw struct {
+			Kind   string `json:"kind"`
+			Cycle  int64  `json:"cycle"`
+			Addr   int64  `json:"addr"`
+			Scheme string `json:"scheme"`
+			Part   string `json:"part"`
+			Detail string `json:"detail"`
+			Aux    int64  `json:"aux"`
+		}
+		// Field-set check first (encoding/json ignores unknown fields).
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			return n, fmt.Errorf("line %d: not a JSON object: %w", line, err)
+		}
+		for name, required := range jsonlFields {
+			if _, ok := obj[name]; required && !ok {
+				return n, fmt.Errorf("line %d: missing required field %q", line, name)
+			}
+		}
+		for name := range obj {
+			if _, ok := jsonlFields[name]; !ok {
+				return n, fmt.Errorf("line %d: unknown field %q", line, name)
+			}
+		}
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			return n, fmt.Errorf("line %d: %w", line, err)
+		}
+		k, ok := KindByName(raw.Kind)
+		if !ok {
+			return n, fmt.Errorf("line %d: unknown kind %q", line, raw.Kind)
+		}
+		if raw.Cycle < 0 {
+			return n, fmt.Errorf("line %d: negative cycle %d", line, raw.Cycle)
+		}
+		if raw.Scheme == "" {
+			return n, fmt.Errorf("line %d: empty scheme", line)
+		}
+		fn(Event{
+			Kind:   k,
+			Cycle:  raw.Cycle,
+			Addr:   raw.Addr,
+			Aux:    raw.Aux,
+			Scheme: raw.Scheme,
+			Part:   raw.Part,
+			Detail: raw.Detail,
+		})
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
 // jsonlFields is the schema: field name -> required.
 var jsonlFields = map[string]bool{
 	"kind":   true,

@@ -46,9 +46,10 @@ const (
 	// base address; Aux is the number of blocks per page.
 	KindCtrOverflow
 	// KindWPQDrain: a pending WPQ entry left the coalescing window and
-	// was handed to a memory bank. Addr is the block address; Detail is
-	// the drain reason (DrainWatermark, DrainAge, DrainStall,
-	// DrainFlush).
+	// was handed to a memory bank. Addr is the block address; Aux is the
+	// entry's residency — the modeled cycles it spent pending in the
+	// queue before issue; Detail is the drain reason (DrainWatermark,
+	// DrainAge, DrainStall, DrainFlush).
 	KindWPQDrain
 	// KindCacheEvict: a metadata cache displaced a valid line. Addr is
 	// the victim's address; Part names the cache ("ctr", "mac", "mt");
@@ -109,6 +110,23 @@ func KindByName(name string) (Kind, bool) {
 	}
 	return KindNone, false
 }
+
+// Kinds returns every declared event kind in declaration order
+// (KindNone excluded). Consumers that key state by Kind — the metrics
+// adapter's per-kind counters, exhaustive round-trip tests — iterate
+// this instead of hard-coding the enum size.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, int(numKinds)-1)
+	for k := Kind(1); k < numKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// ValidKind reports whether k is a declared event kind. KindNone and
+// values at or beyond the end of the enum are invalid; validators use
+// this to reject events whose Kind no Kind constant declares.
+func ValidKind(k Kind) bool { return k > KindNone && k < numKinds }
 
 // Recovery phase names (Event.Part for KindRecoveryPhase).
 const (

@@ -157,6 +157,18 @@ type Stats struct {
 // happened between the two snapshots. Stats is fully value-copyable
 // (the per-category tallies are fixed-size arrays), which is what makes
 // interval measurement a plain subtraction.
+//
+// Sub is exact arithmetic, not a rate estimator: it never clamps, so a
+// field of the result is negative whenever the corresponding counter in
+// prev exceeds the one in s. That happens when the two snapshots do not
+// come from the same monotonic counter history — most commonly when
+// prev was taken from a system that has since crashed and s from the
+// system opened after recovery, whose controller counters restart at
+// zero. Negative fields are therefore a deliberate signal that the
+// snapshots straddle a reset boundary rather than measuring an
+// interval; callers that measure across a crash/recovery boundary must
+// take a fresh baseline from the new system instead of reusing one from
+// the previous incarnation.
 func (s Stats) Sub(prev Stats) Stats {
 	d := s
 	d.Cycles -= prev.Cycles

@@ -33,6 +33,37 @@ func TestSubCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestSubAcrossReset pins the documented reset-boundary behavior: Sub
+// is plain subtraction with no clamping, so when prev comes from a
+// longer counter history than s (a baseline saved before a crash,
+// subtracted from a post-recovery snapshot that restarted at zero) the
+// affected fields go negative instead of wrapping or saturating.
+func TestSubAcrossReset(t *testing.T) {
+	var pre Stats // taken from the incarnation that later crashed
+	pre.Cycles = 10_000
+	pre.Transactions = 500
+	pre.NVMReads = 42
+	pre.AddWrite(WriteData)
+	pre.AddWrite(WriteData)
+
+	var post Stats // fresh incarnation: counters restarted from zero
+	post.Cycles = 1_000
+	post.Transactions = 30
+	post.AddWrite(WriteData)
+
+	d := post.Sub(pre)
+	if d.Cycles != -9_000 || d.Transactions != -470 || d.NVMReads != -42 {
+		t.Fatalf("reset-boundary delta must go negative, got %+v", d)
+	}
+	if d.Writes(WriteData) != -1 {
+		t.Fatalf("write-category delta = %d, want -1", d.Writes(WriteData))
+	}
+	// And the legitimate direction still measures the new incarnation.
+	if d2 := post.Sub(Stats{}); d2 != post {
+		t.Fatalf("fresh-baseline delta altered values: %+v", d2)
+	}
+}
+
 func TestSubInterval(t *testing.T) {
 	var a Stats
 	a.AddWrite(WriteData)

@@ -174,10 +174,15 @@ func (w *WPQ) issueOldest(t int64, reason string) {
 	w.pending = w.pending[:len(w.pending)-1]
 	delete(w.pendSet, e.addr)
 	if w.Tracer != nil {
+		residency := t - e.at
+		if residency < 0 {
+			residency = 0 // stall-path issue can predate the arrival cycle
+		}
 		w.Tracer.Emit(obs.Event{
 			Kind:   obs.KindWPQDrain,
 			Cycle:  t,
 			Addr:   e.addr,
+			Aux:    residency,
 			Scheme: w.Scheme,
 			Detail: reason,
 		})

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/recovery"
@@ -184,6 +185,33 @@ func NewChromeTracer(w io.Writer, cpuGHz float64) *ChromeTracer {
 
 // MultiTracer fans one event stream out to several tracers.
 func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
+
+// Metrics. Set Config.Metrics to a MetricsRegistry and the controller
+// natively records write critical-path latency and PUB ring occupancy;
+// wrap the same registry with MetricsFromTracer and install the result
+// as the Tracer to also derive per-event counters and cycle-latency
+// histograms (WPQ residency, PCB batch fill, PUB entry age, recovery
+// phases) from the event stream. `thothsim serve` exposes such a
+// registry live over HTTP, and cmd/tracemetrics rebuilds one from a
+// recorded JSONL trace.
+
+// MetricsRegistry collects named counters, gauges and log2-bucketed
+// cycle histograms. All updates are atomic: a registry may be read
+// (scraped) concurrently while the simulation writes to it.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// MetricsFromTracer returns a Tracer that folds every controller event
+// into reg — per-kind event counters plus the derived cycle-latency
+// histograms. The adapter allocates nothing per event; combine it with
+// other tracers via MultiTracer.
+func MetricsFromTracer(reg *MetricsRegistry) Tracer { return metrics.FromTracer(reg) }
+
+// WriteMetricsProm renders reg in Prometheus text exposition format
+// (version 0.0.4), exactly as `thothsim serve` answers /metrics.
+func WriteMetricsProm(w io.Writer, reg *MetricsRegistry) error { return metrics.WriteProm(w, reg) }
 
 // System is a secure NVM system: the processor-side controller plus the
 // device. Addresses passed to Read/Write are offsets into the protected
@@ -393,6 +421,13 @@ func (s *System) ElapsedSeconds() float64 {
 // running, and two snapshots subtract with Stats.Sub to measure an
 // interval. (Earlier versions returned a live *Stats pointer; see
 // CHANGES.md for the migration.)
+//
+// Snapshots are comparable only within the lifetime of the System that
+// produced them. A System opened after Crash + Recover starts its
+// controller counters (and its modeled clock) from zero, so subtracting
+// a pre-crash snapshot from a post-recovery one does not measure an
+// interval — it yields negative fields wherever the old incarnation had
+// counted more. See Stats.Sub and StatsDelta for the exact semantics.
 func (s *System) Stats() StatsSnapshot {
 	s.ctl.SyncStats()
 	snap := *s.ctl.Stats()
@@ -404,6 +439,15 @@ func (s *System) Stats() StatsSnapshot {
 // StatsDelta call (or since the system was created) and advances the
 // baseline. It is the convenient form of taking two Stats snapshots and
 // subtracting them.
+//
+// The baseline belongs to this System: it does not survive a crash.
+// After Crash + Recover + Open, the new System begins with a zero
+// baseline, so its first StatsDelta covers exactly the work done since
+// recovery — deltas never wrap negative within one incarnation, because
+// controller counters only increase. Feeding a snapshot saved from a
+// previous incarnation into StatsSnapshot.Sub by hand is the only way
+// to see negative fields, and those mark a reset boundary, not
+// overflow (see Stats.Sub).
 func (s *System) StatsDelta() StatsSnapshot {
 	cur := s.Stats()
 	d := cur.Sub(s.lastStats)
