@@ -7,9 +7,9 @@ SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
 TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
 
-.PHONY: ci vet build test race crashfuzz parallel-diff trace-smoke metrics-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz parallel-diff persist-diff trace-smoke metrics-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
 
-ci: vet build test race crashfuzz parallel-diff trace-smoke metrics-smoke bench-alloc bench-json
+ci: vet build test race crashfuzz parallel-diff persist-diff trace-smoke metrics-smoke bench-alloc bench-json
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,15 @@ crashfuzz:
 # all agree (also runs inside the plain test/race lanes).
 parallel-diff:
 	$(GO) test ./internal/recovery -run TestParallelRecoveryDifferential -count=1
+
+# Serial-vs-pipelined persist differential: 200 seeded traces, each
+# persisted block-by-block and through core.PersistBatch at Workers in
+# {1,2,4,8} with a per-seed batch depth and mid-batch crash split; crash
+# images, stats snapshots, recovery outcomes and recovered plaintext
+# must all be identical. The `race` lane re-runs the same suite under
+# the race detector (the test lives in ./internal/core).
+persist-diff:
+	$(GO) test ./internal/core -run TestPersistPipelineDifferential -count=1
 
 # Trace a quick workload and validate the emitted JSONL event stream
 # against the schema (cmd/tracecheck exits non-zero on any violation).
@@ -75,6 +84,11 @@ fuzz-smoke:
 # Same, against the serial-vs-parallel recovery differential oracle.
 fuzz-parallel-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParallelRecovery -fuzztime=$(FUZZTIME) ./internal/crashfuzz
+
+# Same, against the serial-vs-pipelined persist oracle: the fuzzer
+# steers crash index, batch depth and mid-batch split.
+fuzz-persist-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzPersistPipeline -fuzztime=$(FUZZTIME) ./internal/crashfuzz
 
 # The acceptance-criteria sweep (slower; not part of `ci`).
 sweep-1000:

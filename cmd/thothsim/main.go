@@ -66,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	crash := fs.Bool("crash", false, "crash after the run and recover the image")
 	recoveryWorkers := fs.Int("recovery-workers", 0,
 		"recover with the sharded parallel engine at N workers (0 = serial reference)")
+	persistBatch := fs.Int("persist-batch", 0,
+		"batch persists through the parallel pipeline at this depth (0|1 = classic per-block path)")
+	persistWorkers := fs.Int("persist-workers", 0,
+		"crypto workers for batched persists (0 = GOMAXPROCS); modeled results are worker-invariant")
 	verify := fs.Bool("verify", false, "verify all persisted data after the run")
 	shadow := fs.Bool("shadow", false, "enable Anubis shadow-table tracking (fast recovery)")
 	eadr := fs.Bool("eadr", false, "enhanced ADR: persistent cache hierarchy (extension)")
@@ -92,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.LLCBytes = 1 << 20
 	cfg.ShadowTracking = *shadow
 	cfg.EADR = *eadr
+	cfg.PersistWorkers = *persistWorkers
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -123,12 +128,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res, err := harness.Run(harness.RunConfig{
-		Config:     cfg,
-		Workload:   *wl,
-		WarmupTxs:  *warmup,
-		MeasureTxs: *txs,
-		SetupKeys:  *setup,
-		Verify:     *verify,
+		Config:            cfg,
+		Workload:          *wl,
+		WarmupTxs:         *warmup,
+		MeasureTxs:        *txs,
+		SetupKeys:         *setup,
+		Verify:            *verify,
+		PersistBatchDepth: *persistBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "thothsim:", err)

@@ -111,3 +111,17 @@ func TestRunCrashRecoverParallel(t *testing.T) {
 		t.Errorf("parallel crash run must print the per-shard report:\n%s", out.String())
 	}
 }
+
+func TestRunBatchedPersistFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-workload", "swap", "-txs", "30", "-warmup", "5", "-setup", "64", "-pub", "16",
+		"-persist-batch", "8", "-persist-workers", "4", "-verify", "-crash",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "recovery:") {
+		t.Errorf("output missing recovery line:\n%s", out.String())
+	}
+}

@@ -103,6 +103,26 @@ type Controller struct {
 	pubBuf      []byte
 	entryBuf    []pub.Entry
 	onPUBRetire func(int64)
+
+	// Page-overflow scratch for reencryptPage: its own block buffer,
+	// MAC buffer and minors snapshot so the overflow path never aliases
+	// ctBuf/macBuf (which stage the in-flight block's own ciphertext)
+	// and never allocates — overflows recur every MinorMax writes per
+	// block, so they are steady-state work, not a cold path.
+	reencBuf    []byte
+	reencMAC    [32]byte
+	reencMinors []uint8
+
+	// Batched persist pipeline state (scratch and the worker engine
+	// pool), built lazily on the first PersistBatch call and reused
+	// across batches. specMisses counts requests whose speculated
+	// counter missed the actual post-bump value, forcing an inline
+	// recompute at commit — it lives here, not in stats.Stats, so
+	// serial-vs-batched stats snapshots stay bit-equal. mBatchFill is
+	// the thoth_persist_batch_fill histogram (nil without metrics).
+	batch      *batchState
+	specMisses int64
+	mBatchFill *metrics.Histogram
 }
 
 // New builds a controller with a fresh device.
@@ -166,6 +186,9 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 		readBuf: make([]byte, cfg.BlockSize),
 		ctBuf:   make([]byte, cfg.BlockSize),
 		pubBuf:  make([]byte, cfg.BlockSize),
+
+		reencBuf:    make([]byte, cfg.BlockSize),
+		reencMinors: make([]uint8, cfg.BlocksPerPage()),
 	}
 	c.tree = bmt.New(lay, c.eng)
 	if cfg.Scheme.IsThoth() {
@@ -196,6 +219,9 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 	if cfg.Metrics != nil {
 		c.mWriteCycles = cfg.Metrics.Histogram("thoth_write_cycles",
 			"Critical-path cycles per PersistBlock (entry to durability).",
+			metrics.Label{Key: "scheme", Value: c.schemeTag})
+		c.mBatchFill = cfg.Metrics.Histogram("thoth_persist_batch_fill",
+			"Requests per PersistBatch call.",
 			metrics.Label{Key: "scheme", Value: c.schemeTag})
 		if cfg.Scheme.IsThoth() {
 			c.mPUBOcc = cfg.Metrics.Gauge("thoth_pub_occupancy_blocks",

@@ -80,6 +80,28 @@ func (c *Controller) ReadBlockAllowEmpty(t int64, addr int64) (int64, []byte) {
 // tree root, and persist per the configured scheme. It returns the cycle
 // at which the write is durable (inside the ADR domain).
 func (c *Controller) PersistBlock(t int64, addr int64, plain []byte) int64 {
+	return c.persistBlock(t, addr, plain, nil)
+}
+
+// preCrypto carries the speculatively computed crypto products of one
+// batched request: the post-bump counter the planner predicted, and the
+// ciphertext, first-level MAC and second-level MAC the crypto stage
+// computed under it. The commit path substitutes them only when the
+// predicted counter matches the actual post-bump value, so a wrong
+// speculation can never change an output byte — it only costs an inline
+// recompute.
+type preCrypto struct {
+	counter crypt.Counter
+	ct      []byte
+	mac1    []byte
+	mac2    uint64
+}
+
+// persistBlock is the single-block persist engine behind PersistBlock
+// and the batch pipeline's commit stage. pre, when non-nil, offers the
+// precomputed crypto products of the batch's parallel crypto stage; nil
+// takes the classic inline path.
+func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCrypto) int64 {
 	c.checkAlive()
 	if len(plain) != c.cfg.BlockSize {
 		panic(fmt.Sprintf("core: persist of %d bytes, block size is %d", len(plain), c.cfg.BlockSize))
@@ -119,10 +141,26 @@ func (c *Controller) PersistBlock(t int64, addr int64, plain []byte) int64 {
 	c.tree.Update(ctrIdx, ctrLine.Data)
 	c.markTreeDirty(ctrIdx)
 
+	// Use the batch crypto stage's products when its counter speculation
+	// held; recompute inline otherwise. The modeled timing below is the
+	// same either way — precomputation saves host CPU, not modeled
+	// cycles.
 	ciphertext := c.ctBuf
-	c.eng.EncryptInto(ciphertext, plain, addr, counter)
 	mac1 := c.macBuf[:c.cfg.MACSize()]
-	c.eng.MACInto(mac1, ciphertext, addr, counter)
+	mac2 := uint64(0)
+	haveMAC2 := false
+	if pre != nil && pre.counter == counter {
+		ciphertext = pre.ct
+		mac1 = pre.mac1
+		mac2 = pre.mac2
+		haveMAC2 = true
+	} else {
+		if pre != nil {
+			c.specMisses++
+		}
+		c.eng.EncryptInto(ciphertext, plain, addr, counter)
+		c.eng.MACInto(mac1, ciphertext, addr, counter)
+	}
 	macs.Set(macLine.Data, c.lay.MACSlot(addr), c.cfg.MACSize(), mac1)
 
 	// Crypto critical path: OTP generation + first-level MAC + the
@@ -145,7 +183,7 @@ func (c *Controller) PersistBlock(t int64, addr int64, plain []byte) int64 {
 
 	switch {
 	case c.cfg.Scheme.IsThoth():
-		done = max64(done, c.persistThoth(tCrypto, addr, ctrLine, macLine, counter, mac1, wasCtrDirty, wasMACDirty))
+		done = max64(done, c.persistThoth(tCrypto, addr, ctrLine, macLine, counter, mac1, mac2, haveMAC2, wasCtrDirty, wasMACDirty))
 	case c.cfg.Scheme == config.BaselineStrict:
 		done = max64(done, c.persistStrict(tCrypto, addr, ctrLine, macLine))
 	case c.cfg.Scheme == config.AnubisECC:
@@ -206,11 +244,13 @@ func (c *Controller) persistStrict(t int64, addr int64, ctrLine, macLine *cache.
 // dirty (write-back), and a packed partial update enters the PCB. A full
 // PCB slot is written to the PUB; crossing the occupancy threshold
 // triggers eviction processing.
-func (c *Controller) persistThoth(t int64, addr int64, ctrLine, macLine *cache.Line, counter crypt.Counter, mac1 []byte, wasCtrDirty, wasMACDirty bool) int64 {
+func (c *Controller) persistThoth(t int64, addr int64, ctrLine, macLine *cache.Line, counter crypt.Counter, mac1 []byte, mac2 uint64, haveMAC2 bool, wasCtrDirty, wasMACDirty bool) int64 {
 	ctrLine.Dirty = true
 	macLine.Dirty = true
 
-	mac2 := c.eng.MAC2(mac1)
+	if !haveMAC2 {
+		mac2 = c.eng.MAC2(mac1)
+	}
 	t += c.hashLat() // second-level MAC computation
 
 	var status uint8
@@ -294,7 +334,7 @@ func (c *Controller) reencryptPage(t int64, addr int64, ctrLine *cache.Line) int
 	c.emit(obs.KindCtrOverflow, t, pageBase, int64(blocksPerPage), "", "")
 
 	oldMajor := ctr.Major(ctrLine.Data)
-	oldMinors := make([]uint8, blocksPerPage)
+	oldMinors := c.reencMinors
 	for s := 0; s < blocksPerPage; s++ {
 		oldMinors[s] = ctr.Minor(ctrLine.Data, s)
 	}
@@ -306,17 +346,21 @@ func (c *Controller) reencryptPage(t int64, addr int64, ctrLine *cache.Line) int
 		if !c.dev.Written(blk) {
 			continue
 		}
-		old := c.dev.Peek(blk)
-		oldCtr := crypt.Counter{Major: oldMajor, Minor: oldMinors[s]}
-		plain := c.eng.Decrypt(old, blk, oldCtr)
-		fresh := c.eng.Encrypt(plain, blk, newCtr)
+		// Transcrypt in place in the overflow scratch buffer: CTR-mode
+		// decryption is an XOR with the old pad, re-encryption an XOR
+		// with the new one.
+		fresh := c.reencBuf
+		c.dev.PeekInto(fresh, blk)
+		c.eng.XorPad(fresh, blk, crypt.Counter{Major: oldMajor, Minor: oldMinors[s]})
+		c.eng.XorPad(fresh, blk, newCtr)
 		c.dev.WriteBlock(blk, fresh)
 		c.mem.Post(blk, sim.Item{Ready: t, Dur: c.cfg.WriteLatencyCycles()})
 		c.st.AddWrite(stats.WriteOther)
 		t += c.aesLat() // decrypt+encrypt pipelined per block
 
 		// Refresh the block's MAC under the new counter.
-		mac1 := c.eng.MAC(fresh, blk, newCtr, c.cfg.MACSize())
+		mac1 := c.reencMAC[:c.cfg.MACSize()]
+		c.eng.MACInto(mac1, fresh, blk, newCtr)
 		macLine, tm := c.fetchMAC(t, blk)
 		t = max64(t, tm) + c.hashLat()
 		macs.Set(macLine.Data, c.lay.MACSlot(blk), c.cfg.MACSize(), mac1)

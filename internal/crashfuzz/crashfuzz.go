@@ -41,6 +41,11 @@ const (
 	// the serial reference — different device bytes, a different report,
 	// or a different error sentinel.
 	VParallelDiverge
+	// VPersistDiverge: the batched persist pipeline disagrees with the
+	// serial PersistBlock path fed the identical trace — a different
+	// crash image, different statistics, a different recovery outcome,
+	// or different recovered plaintext.
+	VPersistDiverge
 )
 
 // String names the kind for reports.
@@ -62,6 +67,8 @@ func (k ViolationKind) String() string {
 		return "differential"
 	case VParallelDiverge:
 		return "parallel-diverge"
+	case VPersistDiverge:
+		return "persist-diverge"
 	default:
 		return "violation?"
 	}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// TestRunBatchedVerifies drives the batched persist driver end to end:
+// every clwb'd and evicted block goes through core.PersistBatch, and
+// the full plaintext readback must still match the golden model —
+// batching changes when persists are issued, never what lands on the
+// device.
+func TestRunBatchedVerifies(t *testing.T) {
+	for _, s := range []config.Scheme{config.ThothWTSC, config.BaselineStrict} {
+		cfg := simConfig(s)
+		cfg.PersistWorkers = 4
+		res := run(t, RunConfig{
+			Config:            cfg,
+			Workload:          "btree",
+			WarmupTxs:         50,
+			MeasureTxs:        150,
+			Verify:            true,
+			PersistBatchDepth: 8,
+		})
+		if res.Stats.Writes(stats.WriteData) == 0 {
+			t.Fatal("batched run must write data")
+		}
+		if m := res.Controller.SpecMisses(); m != 0 {
+			t.Fatalf("batched harness run missed speculation %d times", m)
+		}
+	}
+}
+
+// TestRunBatchedDeterministic pins that the batched driver is as
+// deterministic as the classic one: same config, same depth, same
+// cycles and stats.
+func TestRunBatchedDeterministic(t *testing.T) {
+	rc := RunConfig{
+		Config:            simConfig(config.ThothWTBC),
+		Workload:          "hashmap",
+		WarmupTxs:         50,
+		MeasureTxs:        200,
+		PersistBatchDepth: 6,
+	}
+	a := run(t, rc)
+	b := run(t, rc)
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatalf("batched runs diverge:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
+
+// TestRunBatchedWorkerInvariant pins that the worker count changes host
+// parallelism only: identical modeled results at 1 and 8 workers.
+func TestRunBatchedWorkerInvariant(t *testing.T) {
+	mk := func(workers int) *Result {
+		cfg := simConfig(config.ThothWTSC)
+		cfg.PersistWorkers = workers
+		return run(t, RunConfig{
+			Config:            cfg,
+			Workload:          "swap",
+			WarmupTxs:         50,
+			MeasureTxs:        200,
+			PersistBatchDepth: 10,
+		})
+	}
+	a, b := mk(1), mk(8)
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatalf("worker count leaked into modeled results:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
+
+// TestRunBatchedCrashRecovers runs the batched driver, crashes, and
+// verifies the image still recovers (the queued-batch flush at the
+// crash boundary keeps the ADR-domain contract).
+func TestRunBatchedCrashRecovers(t *testing.T) {
+	cfg := simConfig(config.ThothWTSC)
+	cfg.PersistWorkers = 2
+	res := run(t, RunConfig{
+		Config:            cfg,
+		Workload:          "btree",
+		WarmupTxs:         50,
+		MeasureTxs:        150,
+		PersistBatchDepth: 8,
+	})
+	if err := res.Runner.Crash(); err != nil {
+		t.Fatal(err)
+	}
+}

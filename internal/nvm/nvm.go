@@ -178,6 +178,23 @@ func (d *Device) Peek(addr int64) []byte {
 	return out
 }
 
+// PeekInto is Peek into caller-owned scratch: it copies the block at the
+// given block-aligned byte address into dst (exactly one block long)
+// without touching the read counter and without allocating. The batched
+// persist planner uses it to speculate counter state without perturbing
+// device statistics.
+func (d *Device) PeekInto(dst []byte, addr int64) {
+	if len(dst) != d.blockSize {
+		panic(fmt.Sprintf("nvm: peek into %d bytes, block size is %d", len(dst), d.blockSize))
+	}
+	idx := d.index(addr)
+	if p := d.pageOf(idx); p != nil {
+		copy(dst, p.blockSlice(idx, d.blockSize))
+		return
+	}
+	clear(dst)
+}
+
 // WriteBlock stores data (exactly one block) at the block-aligned byte
 // address and bumps wear counters.
 func (d *Device) WriteBlock(addr int64, data []byte) {

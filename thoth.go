@@ -154,6 +154,11 @@ const (
 	// phase, shard+1 for a parallel worker's slice). The Chrome exporter
 	// renders these as duration spans on per-shard tracks.
 	TraceRecoveryPhase = obs.KindRecoveryPhase
+	// TracePersistStage: a batched-persist pipeline stage boundary (Part
+	// is plan, crypto or commit; Detail is begin or end; Aux is the batch
+	// size). The Chrome exporter renders these as duration spans on a
+	// dedicated pipeline track.
+	TracePersistStage = obs.KindPersistStage
 )
 
 // TraceRing is a bounded in-memory tracer keeping the most recent
@@ -223,6 +228,10 @@ type System struct {
 	now       int64
 	crashed   bool
 	lastStats stats.Stats // baseline for StatsDelta
+
+	// batchScratch stages the translated requests of PersistBatch,
+	// reused across calls so steady-state batching does not allocate.
+	batchScratch []core.WriteReq
 }
 
 // System reads and writes at arbitrary byte offsets; expose the standard
@@ -302,6 +311,55 @@ func (s *System) Write(addr int64, data []byte) error {
 		s.now = s.ctl.PersistBlock(s.now, base+blk, block)
 		off += n
 	}
+	return nil
+}
+
+// WriteReq is one full-block write of a PersistBatch: a block-aligned
+// offset into the protected data region and exactly BlockSize bytes of
+// data. The slice is only read during the call.
+type WriteReq struct {
+	Addr int64
+	Data []byte
+}
+
+// PersistBatch persists a batch of full-block writes through the batched
+// parallel pipeline: pad generation and MAC computation fan out across
+// Config.PersistWorkers goroutines (grouped by metadata group so
+// same-group requests stay together), while counter bumps, tree updates,
+// PCB insertion and PUB posting commit serially in request order. The
+// device image, statistics and modeled cycles are bit-identical to
+// calling Write for each request in order — for any worker count — and
+// requests become durable in order. Parallelism saves host CPU on the
+// simulator's real crypto work, not modeled cycles.
+//
+// Every request must be block-aligned and exactly one block long
+// (PersistBatch is the aligned fast path; Write handles read-modify-
+// write for everything else). The batch is validated before any request
+// commits, so an invalid request leaves the system untouched.
+func (s *System) PersistBatch(reqs []WriteReq) error {
+	bs := int64(s.cfg.BlockSize)
+	for i := range reqs {
+		if err := s.checkRange(reqs[i].Addr, len(reqs[i].Data)); err != nil {
+			return fmt.Errorf("batch request %d: %w", i, err)
+		}
+		if reqs[i].Addr%bs != 0 || int64(len(reqs[i].Data)) != bs {
+			return fmt.Errorf("batch request %d: %w: [%d,+%d) is not one aligned block",
+				i, ErrOutOfRange, reqs[i].Addr, len(reqs[i].Data))
+		}
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	base := s.ctl.Layout().DataBase
+	creqs := s.batchScratch[:0]
+	for i := range reqs {
+		creqs = append(creqs, core.WriteReq{Addr: base + reqs[i].Addr, Data: reqs[i].Data})
+	}
+	s.now = s.ctl.PersistBatch(s.now, creqs)
+	for i := range creqs {
+		creqs[i].Data = nil // drop payload references until the next batch
+	}
+	s.batchScratch = creqs
 	return nil
 }
 
