@@ -7,9 +7,9 @@ SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
 TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
 
-.PHONY: ci vet build test race crashfuzz parallel-diff persist-diff trace-smoke metrics-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz scheme-diff parallel-diff persist-diff trace-smoke metrics-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
 
-ci: vet build test race crashfuzz parallel-diff persist-diff trace-smoke metrics-smoke bench-alloc bench-json
+ci: vet build test race crashfuzz scheme-diff parallel-diff persist-diff trace-smoke metrics-smoke bench-alloc bench-json
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,20 @@ race:
 # print `crashfuzz.Replay(seed)` for one-line reproduction).
 crashfuzz:
 	$(GO) run ./cmd/crashfuzz -seeds $(SWEEP_SEEDS)
+
+# Cross-scheme differential: (1) the no-op-refactor gate replays 50
+# seeds against golden image/stats/recovery hashes committed before the
+# PersistScheme extraction — the interface dispatch must stay
+# byte-identical; (2) every seeded crash scenario is re-run with the
+# triad-relaxed scheme cross-checked against both Thoth eviction
+# policies (recovery must produce the exact acknowledged plaintext even
+# with the persisted tree region stale); (3) the scheme-zoo comparison
+# asserts triad persists measurably fewer tree-node writes than the
+# strict baseline.
+scheme-diff:
+	$(GO) test ./internal/crashfuzz -run TestSchemeRefactorGolden -count=1
+	$(GO) run ./cmd/crashfuzz -seeds $(SWEEP_SEEDS) -schemes thoth-wtsc,thoth-wtbc,triad-relaxed-8
+	$(GO) test ./internal/harness -run 'TestSchemeZoo' -count=1
 
 # Serial-vs-parallel recovery differential: 200 seeded crash images,
 # each recovered with the serial engine and RecoverParallel at Workers

@@ -125,22 +125,9 @@ func suite() []bench {
 				now, _ = c.ReadBlock(now, addr)
 			}
 		}},
-		{"micro/persist_steady", func(b *testing.B) {
-			c := mustController(b, config.ThothWTSC)
-			cfg := benchConfig(config.ThothWTSC)
-			blk := make([]byte, cfg.BlockSize)
-			bs := int64(cfg.BlockSize)
-			base := c.Layout().DataBase
-			var now int64
-			for i := int64(0); i < 256; i++ {
-				now = c.PersistBlock(now, base+i%256*bs, blk)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				now = c.PersistBlock(now, base+int64(i)%256*bs, blk)
-			}
-		}},
+		{"micro/persist_steady", benchPersistScheme(config.ThothWTSC)},
+		{"micro/persist_scheme_wtsc", benchPersistScheme(config.ThothWTSC)},
+		{"micro/persist_scheme_triad", benchPersistScheme(config.TriadRelaxed(64))},
 		{"micro/crypt_mac", func(b *testing.B) {
 			e := crypt.NewEngine(1)
 			blk := make([]byte, 128)
@@ -213,6 +200,32 @@ func suite() []bench {
 				}
 			}
 		}},
+	}
+}
+
+// benchPersistScheme measures the steady-state persist critical path of
+// one persistence scheme through the PersistScheme dispatch: a 256-block
+// hot set keeps the metadata caches warm, so ns/op isolates the
+// per-write scheme work (strict in-place persists for the baseline and
+// triad — plus triad's periodic tree checkpoint — versus the PCB/PUB
+// partial-update path for Thoth). The hot path must stay
+// allocation-free under every scheme.
+func benchPersistScheme(s config.Scheme) func(*testing.B) {
+	return func(b *testing.B) {
+		c := mustController(b, s)
+		cfg := benchConfig(s)
+		blk := make([]byte, cfg.BlockSize)
+		bs := int64(cfg.BlockSize)
+		base := c.Layout().DataBase
+		var now int64
+		for i := int64(0); i < 256; i++ {
+			now = c.PersistBlock(now, base+i%256*bs, blk)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = c.PersistBlock(now, base+int64(i)%256*bs, blk)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@
 //	crashfuzz -replay 1234                # reproduce one reported seed
 //	crashfuzz -replay 1234 -minimize      # and shrink its trace first
 //	crashfuzz -seeds 200 -recovery-workers 4   # serial-vs-parallel diff
+//	crashfuzz -seeds 200 -schemes wtsc,wtbc,triad-relaxed-8  # scheme diff
 //
 // Every case is a pure function of its seed, so a failing seed printed
 // by a sweep reproduces byte-for-byte here or in a Go test via
@@ -21,8 +22,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
+	"repro/internal/config"
 	"repro/internal/crashfuzz"
+	"repro/internal/scheme"
 )
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -35,17 +39,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel cases during a sweep")
 	recWorkers := fs.Int("recovery-workers", 0,
 		"also run the serial-vs-parallel recovery differential at N workers (0 disables)")
+	schemesStr := fs.String("schemes", "",
+		"override each seed's scheme set with this comma-separated list ("+
+			strings.Join(scheme.Names(), "|")+"); the seed's trace and crash point are kept")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var schemes []config.Scheme
+	if *schemesStr != "" {
+		if *recWorkers > 0 {
+			fmt.Fprintln(stderr, "crashfuzz: -schemes and -recovery-workers are mutually exclusive")
+			return 1
+		}
+		for _, name := range strings.Split(*schemesStr, ",") {
+			s, err := scheme.Parse(name)
+			if err != nil {
+				fmt.Fprintln(stderr, "crashfuzz:", err)
+				return 1
+			}
+			schemes = append(schemes, s)
+		}
 	}
 
 	// With -recovery-workers the oracle becomes the serial-vs-parallel
 	// recovery differential (ParallelDiff) instead of the plain crash-
 	// consistency contract; replays, sweeps, and ddmin all honor it.
+	// With -schemes the plain oracle runs, but every seed's scenario is
+	// cross-checked over the given scheme set instead of its derived one.
 	runOne := crashfuzz.Replay
-	if *recWorkers > 0 {
+	switch {
+	case *recWorkers > 0:
 		runOne = func(seed int64) *crashfuzz.Result {
 			return crashfuzz.RunParallel(seed, []int{*recWorkers})
+		}
+	case len(schemes) > 0:
+		runOne = func(seed int64) *crashfuzz.Result {
+			return crashfuzz.RunWith(seed, schemes)
 		}
 	}
 

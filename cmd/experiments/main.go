@@ -7,8 +7,10 @@
 //	experiments -exp 8                   # Figure 8 only
 //	experiments -exp table3 -quick       # Table III at smoke-test scale
 //	experiments -exp all -txs 12000      # larger measured phase
+//	experiments -exp schemes -schemes baseline,wtsc,triad-relaxed-64
 //
-// Experiments: 3, 8, 9, 10, 11, 12, table2, table3, vf, recovery, all.
+// Experiments: 3, 8, 9, 10, 11, 12, table2, table3, vf, recovery,
+// eadr, pubsize, arrangement, schemes, all.
 package main
 
 import (
@@ -23,12 +25,16 @@ import (
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/scheme"
 )
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run: 3|8|9|10|11|12|table2|table3|vf|recovery|all")
+	exp := fs.String("exp", "all",
+		"experiment to run: 3|8|9|10|11|12|table2|table3|vf|recovery|eadr|pubsize|arrangement|schemes|all")
+	schemesStr := fs.String("schemes", "",
+		"comparison set for -exp schemes, comma-separated ("+strings.Join(scheme.Names(), "|")+")")
 	quick := fs.Bool("quick", false, "smoke-test scale (10x smaller, not paper-representative)")
 	txs := fs.Int("txs", 0, "override measured transactions per run")
 	warmup := fs.Int("warmup", 0, "override warm-up transactions per run")
@@ -56,6 +62,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	e := harness.NewExperiments(scale, stdout)
 	e.Workers = *workers
+	if *schemesStr != "" {
+		for _, name := range strings.Split(*schemesStr, ",") {
+			s, err := scheme.Parse(name)
+			if err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+				return 1
+			}
+			e.Zoo = append(e.Zoo, s)
+		}
+	}
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -29,22 +29,8 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/recovery"
+	"repro/internal/scheme"
 )
-
-func parseScheme(s string) (config.Scheme, error) {
-	switch strings.ToLower(s) {
-	case "baseline", "baseline-strict":
-		return config.BaselineStrict, nil
-	case "thoth", "wtsc", "thoth-wtsc":
-		return config.ThothWTSC, nil
-	case "wtbc", "thoth-wtbc":
-		return config.ThothWTBC, nil
-	case "anubis-ecc", "ideal":
-		return config.AnubisECC, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q (baseline|thoth-wtsc|thoth-wtbc|anubis-ecc)", s)
-	}
-}
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "serve" {
@@ -53,7 +39,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("thothsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	wl := fs.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
-	schemeStr := fs.String("scheme", "thoth-wtsc", "persistence scheme")
+	schemeStr := fs.String("scheme", "thoth-wtsc",
+		"persistence scheme: "+strings.Join(scheme.Names(), "|"))
 	block := fs.Int("block", 128, "cache block size in bytes (64|128|256)")
 	tx := fs.Int("tx", 128, "transaction size in bytes")
 	txs := fs.Int("txs", 6000, "measured transactions")
@@ -79,14 +66,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	scheme, err := parseScheme(*schemeStr)
+	sch, err := scheme.Parse(*schemeStr)
 	if err != nil {
 		fmt.Fprintln(stderr, "thothsim:", err)
 		return 1
 	}
 
 	cfg := config.Default().
-		WithScheme(scheme).
+		WithScheme(sch).
 		WithBlockSize(*block).
 		WithTxSize(*tx).
 		WithWPQ(*wpqEntries).
@@ -141,11 +128,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	fmt.Fprintf(stdout, "workload=%s scheme=%v block=%dB tx=%dB\n", *wl, scheme, *block, *tx)
+	fmt.Fprintf(stdout, "workload=%s scheme=%v block=%dB tx=%dB\n", *wl, sch, *block, *tx)
 	fmt.Fprintf(stdout, "cycles=%d (%.3f ms at %.0f GHz) txs=%d\n",
 		res.Cycles, float64(res.Cycles)/(cfg.CPUFreqGHz*1e6), cfg.CPUFreqGHz, *txs)
 	fmt.Fprintln(stdout, res.Stats.String())
-	if scheme.IsThoth() {
+	if sch.IsThoth() {
 		fmt.Fprintf(stdout, "pcb-merge-rate=%.1f%%\n", 100*res.PCBMergeRate)
 	}
 

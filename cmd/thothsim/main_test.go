@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/scheme"
 )
 
 // The smoke tests run the real CLI entry point end to end at tiny scale:
@@ -90,10 +91,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 
 func TestParseScheme(t *testing.T) {
 	for in, wantErr := range map[string]bool{
-		"baseline": false, "thoth-wtsc": false, "WTBC": false, "ideal": false, "bogus": true,
+		"baseline": false, "thoth-wtsc": false, "WTBC": false, "ideal": false,
+		"triad-relaxed-16": false, "bogus": true,
 	} {
-		if _, err := parseScheme(in); (err != nil) != wantErr {
-			t.Errorf("parseScheme(%q) err=%v, wantErr=%v", in, err, wantErr)
+		if _, err := scheme.Parse(in); (err != nil) != wantErr {
+			t.Errorf("scheme.Parse(%q) err=%v, wantErr=%v", in, err, wantErr)
 		}
 	}
 }

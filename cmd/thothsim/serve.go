@@ -10,12 +10,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/scheme"
 	"repro/internal/stats"
 )
 
@@ -68,7 +70,7 @@ func newServeSim(cfg config.Config, workload string, setupKeys, warmupTxs, round
 	if warmupTxs > 0 {
 		r.RunTxs(warmupTxs)
 	}
-	if cfg.Scheme.IsThoth() {
+	if scheme.UsesPUB(cfg.Scheme) {
 		if err := r.Controller().PrefillPUB(); err != nil {
 			return nil, fmt.Errorf("serve: prefill: %w", err)
 		}
@@ -111,41 +113,46 @@ func (s *serveSim) publishSnap() {
 
 // statsz is the JSON document served at /statsz.
 type statsz struct {
-	Scheme       string  `json:"scheme"`
-	Workload     string  `json:"workload"`
-	Rounds       int64   `json:"rounds"`
-	Cycle        int64   `json:"cycle"`
-	Transactions int64   `json:"transactions"`
-	TotalWrites  int64   `json:"total_writes"`
-	NVMReads     int64   `json:"nvm_reads"`
-	CtrHitRate   float64 `json:"ctr_hit_rate"`
-	MACHitRate   float64 `json:"mac_hit_rate"`
-	MTHitRate    float64 `json:"mt_hit_rate"`
-	PCBMergeRate float64 `json:"pcb_merge_rate"`
-	WPQStalls    int64   `json:"wpq_stall_cycles"`
-	PUBEvictions int64   `json:"pub_evictions"`
-	CtrOverflows int64   `json:"ctr_overflows"`
+	Scheme           string           `json:"scheme"`
+	SchemeGuarantees string           `json:"scheme_guarantees"`
+	SchemeTunables   []scheme.Tunable `json:"scheme_tunables,omitempty"`
+	Workload         string           `json:"workload"`
+	Rounds           int64            `json:"rounds"`
+	Cycle            int64            `json:"cycle"`
+	Transactions     int64            `json:"transactions"`
+	TotalWrites      int64            `json:"total_writes"`
+	NVMReads         int64            `json:"nvm_reads"`
+	CtrHitRate       float64          `json:"ctr_hit_rate"`
+	MACHitRate       float64          `json:"mac_hit_rate"`
+	MTHitRate        float64          `json:"mt_hit_rate"`
+	PCBMergeRate     float64          `json:"pcb_merge_rate"`
+	WPQStalls        int64            `json:"wpq_stall_cycles"`
+	PUBEvictions     int64            `json:"pub_evictions"`
+	CtrOverflows     int64            `json:"ctr_overflows"`
 }
 
 func (s *serveSim) statsz() statsz {
 	s.mu.Lock()
 	snap, rounds, cycle := s.snap, s.rounds, s.cycle
 	s.mu.Unlock()
+	info := s.runner.Controller().SchemeInfo()
 	return statsz{
-		Scheme:       s.cfg.Scheme.String(),
-		Workload:     s.workload,
-		Rounds:       rounds - 1, // the constructor's initial publish is round 0
-		Cycle:        cycle,
-		Transactions: snap.Transactions,
-		TotalWrites:  snap.TotalWrites(),
-		NVMReads:     snap.NVMReads,
-		CtrHitRate:   snap.CtrHitRate(),
-		MACHitRate:   snap.MACHitRate(),
-		MTHitRate:    snap.MTHitRate(),
-		PCBMergeRate: snap.PCBMergeRate(),
-		WPQStalls:    snap.WPQStallCycles,
-		PUBEvictions: snap.PUBEvictions,
-		CtrOverflows: snap.CtrOverflows,
+		Scheme:           info.Name,
+		SchemeGuarantees: info.Guarantees,
+		SchemeTunables:   info.Tunables,
+		Workload:         s.workload,
+		Rounds:           rounds - 1, // the constructor's initial publish is round 0
+		Cycle:            cycle,
+		Transactions:     snap.Transactions,
+		TotalWrites:      snap.TotalWrites(),
+		NVMReads:         snap.NVMReads,
+		CtrHitRate:       snap.CtrHitRate(),
+		MACHitRate:       snap.MACHitRate(),
+		MTHitRate:        snap.MTHitRate(),
+		PCBMergeRate:     snap.PCBMergeRate(),
+		WPQStalls:        snap.WPQStallCycles,
+		PUBEvictions:     snap.PUBEvictions,
+		CtrOverflows:     snap.CtrOverflows,
 	}
 }
 
@@ -192,7 +199,8 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8077", "listen address (host:port; port 0 picks a free port)")
 	wl := fs.String("workload", "btree", "benchmark: btree|ctree|hashmap|rbtree|swap")
-	schemeStr := fs.String("scheme", "thoth-wtsc", "persistence scheme")
+	schemeStr := fs.String("scheme", "thoth-wtsc",
+		"persistence scheme: "+strings.Join(scheme.Names(), "|"))
 	block := fs.Int("block", 128, "cache block size in bytes (64|128|256)")
 	tx := fs.Int("tx", 128, "transaction size in bytes")
 	setup := fs.Int("setup", 16384, "benchmark population")
@@ -204,13 +212,13 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	scheme, err := parseScheme(*schemeStr)
+	sch, err := scheme.Parse(*schemeStr)
 	if err != nil {
 		fmt.Fprintln(stderr, "thothsim serve:", err)
 		return 1
 	}
 	cfg := config.Default().
-		WithScheme(scheme).
+		WithScheme(sch).
 		WithBlockSize(*block).
 		WithTxSize(*tx)
 	cfg.MemBytes = 1 << 30
@@ -231,8 +239,13 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	srv := &http.Server{Handler: sim.mux()}
 	go srv.Serve(ln)
 	defer srv.Close()
+	info := sim.runner.Controller().SchemeInfo()
 	fmt.Fprintf(stdout, "serving workload=%s scheme=%v on http://%s  (/metrics /statsz /debug/pprof/ /debug/vars)\n",
-		*wl, scheme, ln.Addr())
+		*wl, sch, ln.Addr())
+	fmt.Fprintf(stdout, "scheme %s: %s\n", info.Name, info.Guarantees)
+	for _, tun := range info.Tunables {
+		fmt.Fprintf(stdout, "  %s=%s\n", tun.Name, tun.Value)
+	}
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)

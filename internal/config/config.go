@@ -8,52 +8,145 @@ package config
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
 
-// Scheme selects the persistence engine used by the secure memory
-// controller.
-type Scheme int
+// Kind identifies a persistence-scheme family. Schemes with no tunables
+// are fully identified by their Kind; parameterized schemes (Triad)
+// carry their tunable inside the Scheme value.
+type Kind uint8
 
 const (
-	// BaselineStrict is the paper's baseline: Anubis adapted to future
-	// memory interfaces. Every persistent data write also strictly
+	// KindBaselineStrict is the paper's baseline: Anubis adapted to
+	// future memory interfaces. Every persistent data write also strictly
 	// persists the full counter block and the full MAC block through the
 	// WPQ (which coalesces writes to the same block address).
-	BaselineStrict Scheme = iota
-	// ThothWTSC is Thoth with the Write-back Through Status Checks
+	KindBaselineStrict Kind = iota
+	// KindThothWTSC is Thoth with the Write-back Through Status Checks
 	// eviction policy (the scheme adopted by the paper).
-	ThothWTSC
-	// ThothWTBC is Thoth with the Write-back Through Bitmask Checks
+	KindThothWTSC
+	// KindThothWTBC is Thoth with the Write-back Through Bitmask Checks
 	// eviction policy (precise, but needs fine-grained dirty tracking).
-	ThothWTBC
-	// AnubisECC models the hypothetical comparator of Section V-F:
+	KindThothWTBC
+	// KindAnubisECC models the hypothetical comparator of Section V-F:
 	// Anubis on an interface where ECC bits co-locate the counter with
 	// data and the MAC is written on a parallel chip, so no separate
 	// metadata writes are required for crash consistency.
-	AnubisECC
+	KindAnubisECC
+	// KindTriadRelaxed is a Triad-NVM-style relaxed scheme (Awad et al.):
+	// counters and MACs persist strictly like the baseline, but
+	// Merkle-tree nodes are only checkpointed every N persisted blocks
+	// instead of on every cache eviction — trading recovery work (a full
+	// tree rebuild from persisted counters) for tree-write amplification.
+	KindTriadRelaxed
 )
 
-// String returns the scheme name used in reports and experiment tables.
+// Scheme selects the persistence engine used by the secure memory
+// controller. It is a small comparable value: schemes work as map keys
+// and in == comparisons and switch cases. The zero value is
+// BaselineStrict. Construct parameterized schemes with TriadRelaxed.
+type Scheme struct {
+	kind Kind
+	// epoch is the tree-checkpoint interval for KindTriadRelaxed
+	// (persisted blocks between checkpoints); unused otherwise.
+	epoch int
+}
+
+// The fixed (tunable-free) schemes. These are variables only because a
+// struct cannot be a Go constant; treat them as constants.
+var (
+	BaselineStrict = Scheme{kind: KindBaselineStrict}
+	ThothWTSC      = Scheme{kind: KindThothWTSC}
+	ThothWTBC      = Scheme{kind: KindThothWTBC}
+	AnubisECC      = Scheme{kind: KindAnubisECC}
+)
+
+// TriadRelaxed returns the relaxed-persistence scheme that checkpoints
+// dirty Merkle-tree nodes every epoch persisted blocks. Validate rejects
+// epoch < 1.
+func TriadRelaxed(epoch int) Scheme {
+	return Scheme{kind: KindTriadRelaxed, epoch: epoch}
+}
+
+// Kind returns the scheme family.
+func (s Scheme) Kind() Kind { return s.kind }
+
+// TriadEpoch returns the tree-checkpoint interval of a TriadRelaxed
+// scheme, and 0 for every other kind.
+func (s Scheme) TriadEpoch() int {
+	if s.kind != KindTriadRelaxed {
+		return 0
+	}
+	return s.epoch
+}
+
+// String returns the scheme name used in reports, experiment tables and
+// trace schemeTag fields. ParseScheme is its exact inverse.
 func (s Scheme) String() string {
-	switch s {
-	case BaselineStrict:
+	switch s.kind {
+	case KindBaselineStrict:
 		return "baseline-strict"
-	case ThothWTSC:
+	case KindThothWTSC:
 		return "thoth-wtsc"
-	case ThothWTBC:
+	case KindThothWTBC:
 		return "thoth-wtbc"
-	case AnubisECC:
+	case KindAnubisECC:
 		return "anubis-ecc"
+	case KindTriadRelaxed:
+		return fmt.Sprintf("triad-relaxed-%d", s.epoch)
 	default:
-		return fmt.Sprintf("scheme(%d)", int(s))
+		return fmt.Sprintf("scheme(%d)", int(s.kind))
 	}
 }
 
+// ParseScheme decodes a Scheme.String() value back into the Scheme —
+// the strict inverse used by trace/JSONL schemeTag consumers. It accepts
+// exactly the canonical names ("baseline-strict", "thoth-wtsc",
+// "thoth-wtbc", "anubis-ecc", "triad-relaxed-<epoch>"); user-facing
+// aliases live in scheme.Parse.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "baseline-strict":
+		return BaselineStrict, nil
+	case "thoth-wtsc":
+		return ThothWTSC, nil
+	case "thoth-wtbc":
+		return ThothWTBC, nil
+	case "anubis-ecc":
+		return AnubisECC, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "triad-relaxed-"); ok {
+		epoch, err := strconv.Atoi(rest)
+		if err != nil || epoch < 1 || strconv.Itoa(epoch) != rest {
+			return Scheme{}, fmt.Errorf("config: bad triad epoch in scheme name %q", name)
+		}
+		return TriadRelaxed(epoch), nil
+	}
+	return Scheme{}, fmt.Errorf("config: unknown scheme name %q", name)
+}
+
+// MarshalText encodes the scheme as its canonical name, so JSON and
+// text encodings of configs and results round-trip through ParseScheme.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText decodes a canonical scheme name.
+func (s *Scheme) UnmarshalText(b []byte) error {
+	dec, err := ParseScheme(string(b))
+	if err != nil {
+		return err
+	}
+	*s = dec
+	return nil
+}
+
 // IsThoth reports whether the scheme uses the PCB/PUB machinery.
-func (s Scheme) IsThoth() bool { return s == ThothWTSC || s == ThothWTBC }
+func (s Scheme) IsThoth() bool {
+	return s.kind == KindThothWTSC || s.kind == KindThothWTBC
+}
 
 // Config carries every parameter of a simulation run. The zero value is
 // not usable; start from Default and override.
@@ -304,6 +397,14 @@ func (c Config) MACsPerBlock() int { return c.BlockSize / c.MACSize() }
 // for the first violation found.
 func (c Config) Validate() error {
 	switch {
+	case c.Scheme.kind > KindTriadRelaxed:
+		return fmt.Errorf("config: unknown scheme kind %d", c.Scheme.kind)
+	case c.Scheme.kind == KindTriadRelaxed && c.Scheme.epoch < 1:
+		return fmt.Errorf("config: triad-relaxed checkpoint epoch %d must be >= 1", c.Scheme.epoch)
+	case c.Scheme.kind != KindTriadRelaxed && c.Scheme.epoch != 0:
+		return fmt.Errorf("config: scheme %v carries a stray epoch %d", c.Scheme, c.Scheme.epoch)
+	case c.PCBAfterWPQ && !c.Scheme.IsThoth():
+		return fmt.Errorf("config: PCBAfterWPQ requires a Thoth scheme (got %v); the %v persist path has no PCB", c.Scheme, c.Scheme)
 	case c.BlockSize != 64 && c.BlockSize != 128 && c.BlockSize != 256:
 		return fmt.Errorf("config: block size %d not in {64,128,256}", c.BlockSize)
 	case c.TxSize <= 0:

@@ -120,18 +120,91 @@ func TestWithWPQReservesEighth(t *testing.T) {
 
 func TestSchemeStrings(t *testing.T) {
 	want := map[Scheme]string{
-		BaselineStrict: "baseline-strict",
-		ThothWTSC:      "thoth-wtsc",
-		ThothWTBC:      "thoth-wtbc",
-		AnubisECC:      "anubis-ecc",
+		BaselineStrict:   "baseline-strict",
+		ThothWTSC:        "thoth-wtsc",
+		ThothWTBC:        "thoth-wtbc",
+		AnubisECC:        "anubis-ecc",
+		TriadRelaxed(64): "triad-relaxed-64",
 	}
 	for s, w := range want {
 		if s.String() != w {
-			t.Errorf("Scheme(%d).String() = %q, want %q", int(s), s.String(), w)
+			t.Errorf("scheme kind %d String() = %q, want %q", s.Kind(), s.String(), w)
 		}
 	}
-	if got := Scheme(99).String(); got != "scheme(99)" {
+	if got := (Scheme{kind: 99}).String(); got != "scheme(99)" {
 		t.Errorf("unknown scheme string = %q", got)
+	}
+}
+
+// The zero Scheme value must stay BaselineStrict: configs that never set
+// the field keep their historical meaning.
+func TestSchemeZeroValueIsBaseline(t *testing.T) {
+	var z Scheme
+	if z != BaselineStrict {
+		t.Fatalf("zero Scheme = %v, want baseline-strict", z)
+	}
+}
+
+// Property: ParseScheme is the exact inverse of Scheme.String() for
+// every constructible scheme, so trace/JSONL schemeTag fields always
+// decode back.
+func TestSchemeStringRoundTripProperty(t *testing.T) {
+	f := func(pick uint8, rawEpoch uint16) bool {
+		fixed := []Scheme{BaselineStrict, ThothWTSC, ThothWTBC, AnubisECC}
+		var s Scheme
+		if int(pick)%5 < 4 {
+			s = fixed[int(pick)%4]
+		} else {
+			s = TriadRelaxed(int(rawEpoch) + 1)
+		}
+		dec, err := ParseScheme(s.String())
+		return err == nil && dec == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSchemeRejectsGarbage(t *testing.T) {
+	for _, name := range []string{
+		"", "thoth", "wtsc", "THOTH-WTSC", "scheme(2)",
+		"triad-relaxed-", "triad-relaxed-0", "triad-relaxed--3",
+		"triad-relaxed-07", "triad-relaxed-x",
+	} {
+		if s, err := ParseScheme(name); err == nil {
+			t.Errorf("ParseScheme(%q) = %v, want error", name, s)
+		}
+	}
+}
+
+func TestSchemeTextMarshalRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{BaselineStrict, ThothWTSC, TriadRelaxed(128)} {
+		b, err := s.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec Scheme
+		if err := dec.UnmarshalText(b); err != nil {
+			t.Fatalf("unmarshal %q: %v", b, err)
+		}
+		if dec != s {
+			t.Errorf("round trip %v -> %q -> %v", s, b, dec)
+		}
+	}
+}
+
+func TestValidateSchemeCombos(t *testing.T) {
+	if c := Default().WithScheme(TriadRelaxed(0)); c.Validate() == nil {
+		t.Error("Validate accepted triad epoch 0")
+	}
+	c := Default().WithScheme(BaselineStrict)
+	c.PCBAfterWPQ = true
+	if c.Validate() == nil {
+		t.Error("Validate accepted PCBAfterWPQ on baseline-strict")
+	}
+	c = Default().WithScheme(TriadRelaxed(4096))
+	if err := c.Validate(); err != nil {
+		t.Errorf("triad-relaxed-4096 default config invalid: %v", err)
 	}
 }
 

@@ -7,15 +7,13 @@
 // the off-chip partial updates buffer (PUB) with the WTSC or WTBC
 // eviction policy.
 //
-// Three persistence engines are selectable via config.Scheme:
-//
-//   - BaselineStrict: Anubis adapted to future interfaces (Section V-A).
-//     Every persistent data write strictly persists the full counter
-//     block and full MAC block through the WPQ.
-//   - ThothWTSC / ThothWTBC: data goes through the WPQ; the counter/MAC
-//     partial updates are coalesced in the PCB and buffered in the PUB.
-//   - AnubisECC: the Section V-F comparator where ECC co-location makes
-//     separate metadata persists unnecessary.
+// The persistence policy is pluggable: config.Scheme resolves through
+// scheme.For to a scheme.PersistScheme (baseline-strict, thoth-wtsc,
+// thoth-wtbc, anubis-ecc, triad-relaxed-N), and the controller
+// dispatches every policy decision — metadata persist, PUB-eviction
+// write-back, tree write-back on cache eviction — through that
+// interface. The controller itself is the scheme.Host mechanism
+// surface (see schemehost.go).
 //
 // Functional and timing state advance together: every write is applied
 // byte-accurately to the NVM device the moment it enters the ADR domain,
@@ -35,6 +33,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/pub"
+	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/wpq"
@@ -49,6 +48,15 @@ type Controller struct {
 	mem *sim.Memory
 	q   *wpq.WPQ
 	st  *stats.Stats
+
+	// sch is the resolved persistence policy; every former
+	// scheme-switch branch dispatches through it. wctx is the reusable
+	// write context handed to sch.PersistMetadata (the persist hot path
+	// allocates nothing). persistTreeOnEvict caches
+	// sch.PersistTreeOnCacheEvict for the mtCache eviction callback.
+	sch                scheme.PersistScheme
+	wctx               scheme.WriteCtx
+	persistTreeOnEvict bool
 
 	ctrCache *cache.Cache // payload: counter block bytes
 	macCache *cache.Cache // payload: MAC block bytes
@@ -163,6 +171,10 @@ func Attach(cfg config.Config, dev *nvm.Device) (*Controller, error) {
 }
 
 func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller, error) {
+	sch, err := scheme.For(cfg)
+	if err != nil {
+		return nil, err
+	}
 	mem := sim.NewMemoryRW(cfg.NVMBanks, cfg.BlockSize, cfg.ReadBehindWrites)
 	drainAt := int(float64(cfg.WPQEntries) * cfg.WPQDrainFraction)
 	if drainAt < 1 {
@@ -190,8 +202,10 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 		reencBuf:    make([]byte, cfg.BlockSize),
 		reencMinors: make([]uint8, cfg.BlocksPerPage()),
 	}
+	c.sch = sch
+	c.persistTreeOnEvict = sch.PersistTreeOnCacheEvict()
 	c.tree = bmt.New(lay, c.eng)
-	if cfg.Scheme.IsThoth() {
+	if sch.UsesPUB() {
 		// Thoth reserves PCB entries out of the WPQ (Section IV-C).
 		qEntries = cfg.WPQEntries - cfg.PCBEntries
 		drainAt = int(float64(qEntries) * cfg.WPQDrainFraction)
@@ -223,13 +237,13 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 		c.mBatchFill = cfg.Metrics.Histogram("thoth_persist_batch_fill",
 			"Requests per PersistBatch call.",
 			metrics.Label{Key: "scheme", Value: c.schemeTag})
-		if cfg.Scheme.IsThoth() {
+		if sch.UsesPUB() {
 			c.mPUBOcc = cfg.Metrics.Gauge("thoth_pub_occupancy_blocks",
 				"Live PUB ring occupancy in packed blocks.",
 				metrics.Label{Key: "scheme", Value: c.schemeTag})
 		}
 	}
-	if cfg.Scheme.IsThoth() && cfg.PCBAfterWPQ {
+	if sch.UsesPUB() && cfg.PCBAfterWPQ {
 		c.afterEntries = make(map[int64][]pub.Entry)
 		c.q.OnIssue = c.afterIssue
 	}
@@ -250,7 +264,10 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 	}
 	c.mtCache.OnEvict = func(v cache.Line) {
 		c.emit(obs.KindCacheEvict, c.nowCycle, v.Addr, dirtyAux(v.Dirty), "mt", "")
-		if v.Dirty {
+		// Relaxed schemes drop dirty tree victims (the tree is
+		// reconstructible from the strictly persisted counter region and
+		// only persists at checkpoints); all others write back lazily.
+		if v.Dirty && c.persistTreeOnEvict {
 			c.persistTreeNode(v.Addr)
 		}
 	}

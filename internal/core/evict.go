@@ -1,11 +1,11 @@
 package core
 
 import (
-	"repro/internal/config"
 	"repro/internal/ctr"
 	"repro/internal/macs"
 	"repro/internal/obs"
 	"repro/internal/pub"
+	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -84,19 +84,15 @@ func (c *Controller) evictCtrPartial(t, pubAddr int64, e pub.Entry) {
 	c.st.AddEvict(outcome)
 	c.emit(obs.KindPUBEvict, t, ca, pubAddr, "ctr", evictOutcomeTag[outcome])
 
-	switch c.cfg.Scheme {
-	case config.ThothWTBC:
-		if current {
-			c.persistCtrLine(ca, line.Data)
-			line.Dirty = false
-			line.Mask = 0
-		}
-	case config.ThothWTSC:
-		if e.Status&pub.StatusCtrWasDirty == 0 && line != nil && line.Dirty {
-			c.persistCtrLine(ca, line.Data)
-			line.Dirty = false
-			line.Mask = 0
-		}
+	if c.sch.PersistOnPUBEvict(scheme.EvictCtx{
+		LinePresent: line != nil,
+		LineDirty:   line != nil && line.Dirty,
+		Current:     current,
+		WasDirty:    e.Status&pub.StatusCtrWasDirty != 0,
+	}) {
+		c.persistCtrLine(ca, line.Data)
+		line.Dirty = false
+		line.Mask = 0
 	}
 }
 
@@ -134,18 +130,14 @@ func (c *Controller) evictMACPartial(t, pubAddr int64, e pub.Entry) {
 	c.st.AddEvict(outcome)
 	c.emit(obs.KindPUBEvict, t, ma, pubAddr, "mac", evictOutcomeTag[outcome])
 
-	switch c.cfg.Scheme {
-	case config.ThothWTBC:
-		if current {
-			c.persistMACLine(ma, line.Data)
-			line.Dirty = false
-			line.Mask = 0
-		}
-	case config.ThothWTSC:
-		if e.Status&pub.StatusMACWasDirty == 0 && line != nil && line.Dirty {
-			c.persistMACLine(ma, line.Data)
-			line.Dirty = false
-			line.Mask = 0
-		}
+	if c.sch.PersistOnPUBEvict(scheme.EvictCtx{
+		LinePresent: line != nil,
+		LineDirty:   line != nil && line.Dirty,
+		Current:     current,
+		WasDirty:    e.Status&pub.StatusMACWasDirty != 0,
+	}) {
+		c.persistMACLine(ma, line.Data)
+		line.Dirty = false
+		line.Mask = 0
 	}
 }

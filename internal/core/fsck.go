@@ -24,11 +24,12 @@ import (
 // random crash.
 //
 // The check is functional only (no timing side effects) and is O(cache
-// lines + PUB entries). Non-Thoth schemes trivially satisfy it: the
-// baseline persists strictly, and AnubisECC co-locates.
+// lines + PUB entries). Schemes without a PUB trivially satisfy it:
+// the strict schemes (baseline, triad-relaxed) persist on write, and
+// AnubisECC co-locates.
 func (c *Controller) VerifyCrashConsistency() error {
 	c.checkAlive()
-	if !c.cfg.Scheme.IsThoth() {
+	if !c.sch.UsesPUB() {
 		return c.verifyInPlace()
 	}
 

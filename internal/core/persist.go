@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
-	"repro/internal/config"
 	"repro/internal/crypt"
 	"repro/internal/ctr"
 	"repro/internal/macs"
@@ -181,24 +180,22 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 	}
 	done := res.When
 
-	switch {
-	case c.cfg.Scheme.IsThoth():
-		done = max64(done, c.persistThoth(tCrypto, addr, ctrLine, macLine, counter, mac1, mac2, haveMAC2, wasCtrDirty, wasMACDirty))
-	case c.cfg.Scheme == config.BaselineStrict:
-		done = max64(done, c.persistStrict(tCrypto, addr, ctrLine, macLine))
-	case c.cfg.Scheme == config.AnubisECC:
-		// Counter rides with data in the (hypothetical) ECC bits and the
-		// MAC is written on a parallel chip: metadata persistence is
-		// functionally real but costs no extra block write and no WPQ
-		// slot — exactly the co-location assumption the paper argues
-		// future interfaces break.
-		c.dev.WriteBlock(c.lay.CtrBlockAddr(addr), ctrLine.Data)
-		c.dev.WriteBlock(c.lay.MACBlockAddr(addr), macLine.Data)
-		ctrLine.Dirty = false
-		macLine.Dirty = false
-	default:
-		panic(fmt.Sprintf("core: unknown scheme %v", c.cfg.Scheme))
-	}
+	// Metadata persistence is the scheme's call: fill the reusable write
+	// context and dispatch. A scheme that adds nothing to the critical
+	// path (AnubisECC co-location) returns tCrypto, which never raises
+	// done (the WPQ completes at or after the insert cycle).
+	w := &c.wctx
+	w.Addr = addr
+	w.BlockIndex = uint32(addr / int64(c.cfg.BlockSize))
+	w.CtrLine = ctrLine
+	w.MACLine = macLine
+	w.Counter = counter
+	w.MAC1 = mac1
+	w.MAC2 = mac2
+	w.HaveMAC2 = haveMAC2
+	w.WasCtrDirty = wasCtrDirty
+	w.WasMACDirty = wasMACDirty
+	done = max64(done, c.sch.PersistMetadata(c, tCrypto, w))
 
 	// Anubis shadow tracking: record both metadata updates so recovery
 	// knows which blocks may have been lost with the caches.
@@ -212,65 +209,6 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 		c.mPUBOcc.Set(c.ring.Len())
 	}
 	return done
-}
-
-// persistStrict implements the baseline: full counter and MAC blocks are
-// strictly persisted through the WPQ with every data write. Lines end up
-// clean, so natural evictions are free.
-func (c *Controller) persistStrict(t int64, addr int64, ctrLine, macLine *cache.Line) int64 {
-	ca := c.lay.CtrBlockAddr(addr)
-	ma := c.lay.MACBlockAddr(addr)
-
-	c.dev.WriteBlock(ca, ctrLine.Data)
-	resC := c.q.Insert(t, ca)
-	if !resC.Coalesced {
-		c.st.AddWrite(stats.WriteCounter)
-	}
-	ctrLine.Dirty = false
-	ctrLine.Mask = 0
-
-	c.dev.WriteBlock(ma, macLine.Data)
-	resM := c.q.Insert(resC.When, ma)
-	if !resM.Coalesced {
-		c.st.AddWrite(stats.WriteMAC)
-	}
-	macLine.Dirty = false
-	macLine.Mask = 0
-
-	return max64(resC.When, resM.When)
-}
-
-// persistThoth implements the Thoth path: the metadata cache lines stay
-// dirty (write-back), and a packed partial update enters the PCB. A full
-// PCB slot is written to the PUB; crossing the occupancy threshold
-// triggers eviction processing.
-func (c *Controller) persistThoth(t int64, addr int64, ctrLine, macLine *cache.Line, counter crypt.Counter, mac1 []byte, mac2 uint64, haveMAC2 bool, wasCtrDirty, wasMACDirty bool) int64 {
-	ctrLine.Dirty = true
-	macLine.Dirty = true
-
-	if !haveMAC2 {
-		mac2 = c.eng.MAC2(mac1)
-	}
-	t += c.hashLat() // second-level MAC computation
-
-	var status uint8
-	if wasCtrDirty {
-		status |= pub.StatusCtrWasDirty
-	}
-	if wasMACDirty {
-		status |= pub.StatusMACWasDirty
-	}
-	e := pub.Entry{
-		BlockIndex: uint32(addr / int64(c.cfg.BlockSize)),
-		MAC2:       mac2,
-		Minor:      counter.Minor,
-		Status:     status,
-	}
-	c.st.PartialUpdates++
-	if c.cfg.PCBAfterWPQ {
-		return c.persistThothAfter(t, addr, e)
-	}
-	return c.pcbInsert(t, e)
 }
 
 // pcbInsert coalesces or appends one partial update into the PCB

@@ -121,6 +121,18 @@ func Run(seed int64) *Result { return RunCase(DeriveCase(seed)) }
 // reproduction.
 func Replay(seed int64) *Result { return Run(seed) }
 
+// RunWith derives the case for a seed and executes it with the scheme
+// set replaced. The override happens after derivation, so the trace,
+// machine geometry and crash index are exactly the seed's own
+// (DeriveCase's RNG draws are untouched) — the identical crash scenario
+// faces whatever scheme set the caller wants to cross-check, e.g. the
+// triad-relaxed sweep against the seed's usual oracle schemes.
+func RunWith(seed int64, schemes []config.Scheme) *Result {
+	c := DeriveCase(seed)
+	c.Schemes = schemes
+	return RunCase(c)
+}
+
 // RunCase executes one concrete case: for every scheme, run the trace
 // prefix, crash, recover, reopen, and compare every golden block; then
 // cross-check the schemes against each other.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/obs"
 	"repro/internal/recovery"
+	"repro/internal/scheme"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -75,6 +76,9 @@ type Experiments struct {
 	// the tracer must be safe for concurrent use (the obs sinks are).
 	// Memoization keys ignore it: tracing does not change results.
 	Tracer obs.Tracer
+	// Zoo, when non-empty, replaces the default comparison set of the
+	// Schemes experiment (the CLI's -schemes flag).
+	Zoo []config.Scheme
 
 	mu    sync.Mutex
 	cache map[string]*Result
@@ -731,7 +735,7 @@ func (e *Experiments) PUBSize() error {
 	sizes := []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20}
 	mk := func(s config.Scheme, pub int64, wl string) RunConfig {
 		cfg := e.Scale.apply(config.Default().WithScheme(s))
-		if s.IsThoth() {
+		if scheme.UsesPUB(s) {
 			cfg.PUBBytes = pub
 		}
 		return e.runConfig(cfg, wl)
@@ -839,6 +843,7 @@ func (e *Experiments) All() error {
 		{"fig11", e.Fig11}, {"fig12", e.Fig12}, {"secVF", e.SecVF},
 		{"recovery", e.Recovery}, {"eadr", e.EADRAblation},
 		{"pubsize", e.PUBSize}, {"arrangement", e.Arrangement},
+		{"schemes", e.Schemes},
 	}
 	for _, s := range steps {
 		if err := s.fn(); err != nil {
@@ -855,7 +860,7 @@ func (e *Experiments) ByName(name string) error {
 		"table2": e.Table2, "table3": e.Table3,
 		"11": e.Fig11, "12": e.Fig12, "vf": e.SecVF, "recovery": e.Recovery,
 		"eadr": e.EADRAblation, "pubsize": e.PUBSize,
-		"arrangement": e.Arrangement,
+		"arrangement": e.Arrangement, "schemes": e.Schemes,
 		"all": e.All,
 	}
 	fn, ok := m[name]

@@ -16,6 +16,7 @@ import (
 	"repro/internal/llc"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/scheme"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -408,7 +409,7 @@ func Run(rc RunConfig) (*Result, error) {
 	if rc.WarmupTxs > 0 {
 		r.RunTxs(rc.WarmupTxs)
 	}
-	if rc.Config.Scheme.IsThoth() {
+	if scheme.UsesPUB(rc.Config.Scheme) {
 		if err := r.ctl.PrefillPUB(); err != nil {
 			return nil, fmt.Errorf("harness: prefill: %w", err)
 		}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSchemeZooGolden pins the scheme-zoo report byte-for-byte at test
+// scale: the simulation is deterministic, so any drift in measured
+// cycles, write counts or recovery bills — or in the report format —
+// shows up as a diff against the committed golden summary. Regenerate
+// with SCHEME_ZOO_UPDATE=1 after an intentional change.
+func TestSchemeZooGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 25 simulations")
+	}
+	var out syncWriter
+	e := NewExperiments(tinyScale(), &out)
+	e.Workers = 1
+	if err := e.Schemes(); err != nil {
+		t.Fatalf("Schemes: %v", err)
+	}
+	got := out.String()
+
+	golden := filepath.Join("testdata", "scheme_zoo_golden.txt")
+	if os.Getenv("SCHEME_ZOO_UPDATE") == "1" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (SCHEME_ZOO_UPDATE=1 regenerates): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("scheme zoo report drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSchemeZooReportShape spot-checks the report semantics independent
+// of the golden bytes: every zoo scheme appears, every recovery
+// verified, and the summary line carries the relaxed-persistence claim.
+func TestSchemeZooReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 25 simulations")
+	}
+	var out syncWriter
+	e := NewExperiments(tinyScale(), &out)
+	e.Workers = 1
+	if err := e.Schemes(); err != nil {
+		t.Fatalf("Schemes: %v", err)
+	}
+	rep := out.String()
+	for _, want := range []string{
+		"Scheme zoo", "baseline-strict", "thoth-wtsc", "thoth-wtbc",
+		"anubis-ecc", "triad-relaxed-4096", "tree-node writes:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "false") {
+		t.Errorf("some recovery did not verify its root:\n%s", rep)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/pub"
+	"repro/internal/scheme"
 )
 
 // RecoverOpts configures RecoverParallel.
@@ -125,6 +126,10 @@ func RecoverParallel(cfg config.Config, dev *nvm.Device, opts RecoverOpts) (*Rep
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	sch, err := scheme.For(cfg)
+	if err != nil {
+		return nil, err
+	}
 	lay, err := layout.New(cfg)
 	if err != nil {
 		return nil, err
@@ -139,7 +144,7 @@ func RecoverParallel(cfg config.Config, dev *nvm.Device, opts RecoverOpts) (*Rep
 	read := cfg.ReadLatencyCycles()
 	hash := int64(cfg.HashLatencyCycles)
 
-	if cfg.Scheme.IsThoth() {
+	if sch.UsesPUB() {
 		// Phase 1 — scan: walk the ring oldest-to-youngest exactly like
 		// the serial pass, stamping each entry with its serial-model
 		// cycle, and queue it on the shard owning its metadata group.
@@ -215,6 +220,11 @@ func RecoverParallel(cfg config.Config, dev *nvm.Device, opts RecoverOpts) (*Rep
 		emitPhase(cfg, obs.PhaseMerge, 0, rep.ScanCycles, rep.ScanCycles+rep.MergeCycles)
 
 		rep.EstimatedCycles = EstimateCyclesParallel(cfg, rep.PUBBlocks, workers)
+		rep.EstimatedSeconds = float64(rep.EstimatedCycles) / (cfg.CPUFreqGHz * 1e9)
+	} else {
+		// Non-PUB schemes: the scheme's own recovery model (zero for the
+		// strict schemes, the tree-rebuild bill for relaxed persistence).
+		rep.EstimatedCycles = sch.RecoveryCycles(cfg, 0, writtenCtrBlocks(lay, dev))
 		rep.EstimatedSeconds = float64(rep.EstimatedCycles) / (cfg.CPUFreqGHz * 1e9)
 	}
 

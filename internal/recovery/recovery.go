@@ -39,6 +39,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/pub"
+	"repro/internal/scheme"
 )
 
 // ErrRootMismatch is returned when the rebuilt tree root does not match
@@ -170,6 +171,10 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	sch, err := scheme.For(cfg)
+	if err != nil {
+		return nil, err
+	}
 	lay, err := layout.New(cfg)
 	if err != nil {
 		return nil, err
@@ -182,7 +187,7 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 		return nil, fmt.Errorf("%w: no persisted root: %v", ErrNoControlState, err)
 	}
 
-	if cfg.Scheme.IsThoth() {
+	if sch.UsesPUB() {
 		ring := pub.NewRing(lay, dev)
 		if err := ring.LoadCtl(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrNoControlState, err)
@@ -203,9 +208,13 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 				mergeEntry(cfg, lay, eng, dev, e, rep, cyc)
 			}
 		}
-		rep.EstimatedCycles = EstimateCycles(cfg, rep.PUBBlocks)
-		rep.EstimatedSeconds = float64(rep.EstimatedCycles) / (cfg.CPUFreqGHz * 1e9)
 	}
+
+	// The scheme models its own recovery bill: PUB replay for the Thoth
+	// schemes, a full tree rebuild for relaxed tree persistence, zero
+	// for the strict baseline and co-location.
+	rep.EstimatedCycles = sch.RecoveryCycles(cfg, rep.PUBBlocks, writtenCtrBlocks(lay, dev))
+	rep.EstimatedSeconds = float64(rep.EstimatedCycles) / (cfg.CPUFreqGHz * 1e9)
 
 	if cfg.ShadowTracking {
 		estimateShadow(cfg, lay, dev, rep)
@@ -216,6 +225,14 @@ func Recover(cfg config.Config, dev *nvm.Device) (*Report, error) {
 		return rep, ErrRootMismatch
 	}
 	return rep, nil
+}
+
+// writtenCtrBlocks counts the written blocks of the counter region —
+// the size of the tree-rebuild bill a relaxed scheme pays at recovery.
+func writtenCtrBlocks(lay *layout.Layout, dev *nvm.Device) int64 {
+	var n int64
+	dev.ForEachWritten(lay.CtrBase, lay.CtrBytes, func(int64, []byte) { n++ })
+	return n
 }
 
 // estimateShadow fills the Anubis-shadow-table recovery estimates
@@ -316,14 +333,10 @@ func mergeEntry(cfg config.Config, lay *layout.Layout, eng *crypt.Engine, dev bl
 // EstimateCycles models the PUB-merge recovery cost (footnote 5 of the
 // paper): for each PUB block, one block read; for each entry, reads of
 // the counter block, ciphertext and MAC block, two MAC computations, and
-// writes of the counter and MAC blocks.
+// writes of the counter and MAC blocks. The formula lives with the
+// Thoth scheme implementation (scheme.PUBReplayCycles).
 func EstimateCycles(cfg config.Config, pubBlocks int64) int64 {
-	read := cfg.ReadLatencyCycles()
-	write := cfg.WriteLatencyCycles()
-	hash := int64(cfg.HashLatencyCycles)
-	perEntry := 3*read + 2*hash + 2*write
-	perBlock := read + int64(cfg.PartialsPerBlock())*perEntry
-	return pubBlocks * perBlock
+	return scheme.PUBReplayCycles(cfg, pubBlocks)
 }
 
 // EstimateSeconds converts EstimateCycles to wall-clock seconds.

@@ -1,0 +1,82 @@
+package scheme
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// registryEntry describes one registered scheme family for Parse and
+// the error/usage listing.
+type registryEntry struct {
+	// canonical is the Scheme.String() form ("triad-relaxed-<epoch>" for
+	// the parameterized family).
+	canonical string
+	// aliases are the extra names -scheme flags accept.
+	aliases []string
+}
+
+// registry is the single scheme-name table every CLI -scheme flag goes
+// through. Keep canonical forms in sync with config.Scheme.String().
+var registry = []registryEntry{
+	{canonical: "baseline-strict", aliases: []string{"baseline"}},
+	{canonical: "thoth-wtsc", aliases: []string{"thoth", "wtsc"}},
+	{canonical: "thoth-wtbc", aliases: []string{"wtbc"}},
+	{canonical: "anubis-ecc", aliases: []string{"anubis", "ideal"}},
+	{canonical: "triad-relaxed-<epoch>", aliases: []string{"triad", "triad-relaxed", "triad-<epoch>"}},
+}
+
+// defaultTriadEpoch is the checkpoint interval "triad" without an
+// explicit epoch resolves to: large enough that tree-write savings are
+// visible at experiment scale, small enough that checkpoints still
+// occur within a quick run.
+const defaultTriadEpoch = 64
+
+// Names returns every accepted scheme name (canonical forms first,
+// then aliases), for flag usage strings and the Parse error.
+func Names() []string {
+	var names []string
+	for _, e := range registry {
+		names = append(names, e.canonical)
+	}
+	var aliases []string
+	for _, e := range registry {
+		aliases = append(aliases, e.aliases...)
+	}
+	sort.Strings(aliases)
+	return append(names, aliases...)
+}
+
+// Parse resolves a user-facing scheme name — a canonical
+// Scheme.String() form or a registered alias, case-insensitively — to
+// its config.Scheme. Unknown names get an error listing every
+// registered scheme.
+func Parse(name string) (config.Scheme, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	switch n {
+	case "baseline", "baseline-strict":
+		return config.BaselineStrict, nil
+	case "thoth", "wtsc", "thoth-wtsc":
+		return config.ThothWTSC, nil
+	case "wtbc", "thoth-wtbc":
+		return config.ThothWTBC, nil
+	case "anubis", "anubis-ecc", "ideal":
+		return config.AnubisECC, nil
+	case "triad", "triad-relaxed":
+		return config.TriadRelaxed(defaultTriadEpoch), nil
+	}
+	for _, prefix := range []string{"triad-relaxed-", "triad-"} {
+		if rest, ok := strings.CutPrefix(n, prefix); ok {
+			epoch, err := strconv.Atoi(rest)
+			if err != nil || epoch < 1 {
+				return config.Scheme{}, fmt.Errorf("scheme: bad triad epoch %q in %q (want a positive integer)", rest, name)
+			}
+			return config.TriadRelaxed(epoch), nil
+		}
+	}
+	return config.Scheme{}, fmt.Errorf("scheme: unknown scheme %q; registered schemes: %s",
+		name, strings.Join(Names(), ", "))
+}

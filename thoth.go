@@ -40,6 +40,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/obs"
 	"repro/internal/recovery"
+	"repro/internal/scheme"
 	"repro/internal/stats"
 )
 
@@ -57,14 +58,23 @@ var (
 // knobs). Construct with DefaultConfig and adjust.
 type Config = config.Config
 
-// Scheme selects the persistence engine.
+// Scheme selects the persistence engine. It is a small comparable
+// constructor-backed value: use the package variables below for the
+// fixed schemes, TriadRelaxed for the parameterized one, and
+// ParseScheme to decode a Scheme.String() name. The zero value is the
+// strict baseline.
 type Scheme = config.Scheme
 
-// The available persistence schemes.
-const (
+// The available persistence schemes. These are variables only because a
+// constructor-backed struct cannot be a Go constant; treat them as
+// constants. The historical names (BaselineStrict, WTSC, WTBC,
+// AnubisECC) keep working as aliases.
+var (
 	// BaselineStrict is the paper's baseline: Anubis adapted to future
 	// interfaces, strictly persisting counter and MAC blocks per write.
 	BaselineStrict = config.BaselineStrict
+	// Baseline is a shorter alias for BaselineStrict.
+	Baseline = config.BaselineStrict
 	// WTSC is Thoth with the status-check eviction policy (the paper's
 	// adopted design).
 	WTSC = config.ThothWTSC
@@ -74,9 +84,32 @@ const (
 	AnubisECC = config.AnubisECC
 )
 
+// TriadRelaxed returns a Triad-NVM-style relaxed-persistence scheme:
+// counters and MACs persist strictly like the baseline, but dirty
+// integrity-tree nodes are only checkpointed every epoch persisted
+// blocks, trading recovery work (a full tree rebuild) for tree-write
+// amplification. Config.Validate rejects epoch < 1.
+func TriadRelaxed(epoch int) Scheme { return config.TriadRelaxed(epoch) }
+
+// ParseScheme decodes a Scheme.String() name ("thoth-wtsc",
+// "triad-relaxed-64", ...) back into the Scheme — the strict inverse
+// used by trace/JSONL schemeTag consumers. CLI-style aliases ("wtsc",
+// "thoth", "triad") are handled by the scheme registry in the command
+// front-ends, not here.
+func ParseScheme(name string) (Scheme, error) { return config.ParseScheme(name) }
+
 // DefaultConfig returns the paper's Table I configuration with the WTSC
 // scheme, 128-byte cache blocks and a 64MB PUB.
 func DefaultConfig() Config { return config.Default() }
+
+// SchemeInfo describes a persistence scheme: its canonical name, a
+// human-readable statement of the persistence guarantees it provides,
+// and its tunables (eviction policy, checkpoint epoch, ...). It is what
+// `thothsim serve` prints in its banner and serves in /statsz.
+type SchemeInfo = scheme.Info
+
+// SchemeTunable is one name/value tunable of a SchemeInfo.
+type SchemeTunable = scheme.Tunable
 
 // Device is the byte-accurate NVM module image. It survives crashes and
 // can be carried across System instances.
@@ -452,6 +485,10 @@ func (s *System) Device() *Device { return s.ctl.Device() }
 
 // Root returns the current on-chip integrity-tree root.
 func (s *System) Root() uint64 { return s.ctl.Root() }
+
+// SchemeInfo reports the persistence scheme this system runs under:
+// canonical name, persistence guarantees, and tunables.
+func (s *System) SchemeInfo() SchemeInfo { return s.ctl.SchemeInfo() }
 
 // VerifyCrashConsistency checks, without perturbing the system, that a
 // crash at this instant would be recoverable: every security-metadata
