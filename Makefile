@@ -7,9 +7,9 @@ SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
 TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
 
-.PHONY: ci vet build test race crashfuzz scheme-diff parallel-diff persist-diff trace-smoke metrics-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
 
-ci: vet build test race crashfuzz scheme-diff parallel-diff persist-diff trace-smoke metrics-smoke bench-alloc bench-json
+ci: vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke bench-alloc bench-json
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +57,20 @@ parallel-diff:
 # the race detector (the test lives in ./internal/core).
 persist-diff:
 	$(GO) test ./internal/core -run TestPersistPipelineDifferential -count=1
+
+# Sharded-pool differential: (1) the routing property tests (every
+# block maps to exactly one shard, no metadata group straddles a shard
+# boundary, one shard is byte-identical to a plain System); (2) the
+# crash-any-subset-of-shards sweep — each seed's trace runs through a
+# pool of 2/4/8/16 controllers, a seed-derived shard subset crashes,
+# every crashed shard recovers in parallel, and the merged image must
+# match both the plaintext oracle and a single-controller run; (3) the
+# root-level Pool API suite (one-shard equivalence, concurrent clients,
+# crash-subset recovery, stats pooling).
+pool-diff:
+	$(GO) test ./internal/engine -count=1
+	$(GO) run ./cmd/crashfuzz -seeds $(SWEEP_SEEDS) -shards mixed
+	$(GO) test . -run TestPool -count=1
 
 # Trace a quick workload and validate the emitted JSONL event stream
 # against the schema (cmd/tracecheck exits non-zero on any violation).

@@ -10,6 +10,8 @@
 //	crashfuzz -replay 1234 -minimize      # and shrink its trace first
 //	crashfuzz -seeds 200 -recovery-workers 4   # serial-vs-parallel diff
 //	crashfuzz -seeds 200 -schemes wtsc,wtbc,triad-relaxed-8  # scheme diff
+//	crashfuzz -seeds 200 -shards 4        # pool-vs-single-controller diff
+//	crashfuzz -seeds 200 -shards mixed    # per-seed shard count (2/4/8/16)
 //
 // Every case is a pure function of its seed, so a failing seed printed
 // by a sweep reproduces byte-for-byte here or in a Go test via
@@ -22,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/config"
@@ -42,8 +45,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	schemesStr := fs.String("schemes", "",
 		"override each seed's scheme set with this comma-separated list ("+
 			strings.Join(scheme.Names(), "|")+"); the seed's trace and crash point are kept")
+	shardsStr := fs.String("shards", "",
+		"also run the sharded-pool-vs-single-controller differential: a fixed shard "+
+			"count (must divide the 256 MiB case module; powers of two work) or "+
+			"\"mixed\" for a per-seed count from {2,4,8,16} (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	shardsFor, err := parseShards(*shardsStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "crashfuzz:", err)
+		return 1
+	}
+	if shardsFor != nil && (*recWorkers > 0 || *schemesStr != "") {
+		fmt.Fprintln(stderr, "crashfuzz: -shards is mutually exclusive with -schemes and -recovery-workers")
+		return 1
 	}
 
 	var schemes []config.Scheme
@@ -67,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// consistency contract; replays, sweeps, and ddmin all honor it.
 	// With -schemes the plain oracle runs, but every seed's scenario is
 	// cross-checked over the given scheme set instead of its derived one.
+	// With -shards each seed's trace additionally runs through a sharded
+	// pool that crashes a seed-derived subset of its controllers.
 	runOne := crashfuzz.Replay
 	switch {
 	case *recWorkers > 0:
@@ -77,11 +96,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runOne = func(seed int64) *crashfuzz.Result {
 			return crashfuzz.RunWith(seed, schemes)
 		}
+	case shardsFor != nil:
+		runOne = func(seed int64) *crashfuzz.Result {
+			return crashfuzz.RunPool(seed, shardsFor(seed))
+		}
 	}
 
 	if *replay != 0 {
 		res := runOne(*replay)
 		if res.Failed() && *minimize {
+			if shardsFor != nil {
+				fmt.Fprintln(stderr, "crashfuzz: -minimize is not supported with -shards (the pool oracle is seed-driven, not trace-driven)")
+				return 1
+			}
 			failing := func(c crashfuzz.Case) bool { return crashfuzz.RunCase(c).Failed() }
 			rerun := crashfuzz.RunCase
 			if *recWorkers > 0 {
@@ -109,6 +136,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// parseShards turns the -shards value into a per-seed shard-count
+// function: nil (disabled), a constant, or the mixed per-seed schedule.
+func parseShards(s string) (func(seed int64) int, error) {
+	switch s {
+	case "":
+		return nil, nil
+	case "mixed":
+		return crashfuzz.PoolShardsFor, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("-shards must be a positive integer or \"mixed\" (got %q)", s)
+	}
+	return func(int64) int { return n }, nil
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

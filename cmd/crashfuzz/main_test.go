@@ -56,3 +56,42 @@ func TestRunParallelRecoveryReplay(t *testing.T) {
 		t.Errorf("parallel-diff replay report missing:\n%s", out.String())
 	}
 }
+
+func TestRunPoolSweep(t *testing.T) {
+	for _, shards := range []string{"4", "mixed"} {
+		var out, errw bytes.Buffer
+		code := run([]string{"-seeds", "10", "-start", "1", "-shards", shards}, &out, &errw)
+		if code != 0 {
+			t.Fatalf("-shards %s: exit %d, output:\n%s%s", shards, code, out.String(), errw.String())
+		}
+		if !strings.Contains(out.String(), "10 cases, 0 violations") {
+			t.Errorf("-shards %s: pool-diff sweep summary missing:\n%s", shards, out.String())
+		}
+	}
+}
+
+func TestRunPoolReplay(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-replay", "42", "-shards", "2"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), ": ok") {
+		t.Errorf("pool-diff replay report missing:\n%s", out.String())
+	}
+}
+
+func TestRunPoolFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-seeds", "5", "-shards", "4", "-schemes", "thoth-wtsc"},
+		{"-seeds", "5", "-shards", "4", "-recovery-workers", "2"},
+		{"-seeds", "5", "-shards", "0"},
+		{"-seeds", "5", "-shards", "four"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 1 {
+			t.Errorf("%v: exit %d, want 1 (stderr: %s)", args, code, errw.String())
+		}
+	}
+}

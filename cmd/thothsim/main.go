@@ -8,6 +8,8 @@
 //	thothsim -workload btree -scheme thoth-wtsc
 //	thothsim -workload swap -scheme baseline -block 256 -tx 512
 //	thothsim -workload rbtree -scheme thoth-wtsc -crash  # crash + recover
+//	thothsim -shards 4 -txs 20000            # sharded pool throughput
+//	thothsim -shards 4 -crash                # crash a shard subset + recover
 //
 // The serve subcommand turns the batch simulator into an observable
 // long-running process: it runs workload rounds forever (or for
@@ -62,6 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eadr := fs.Bool("eadr", false, "enhanced ADR: persistent cache hierarchy (extension)")
 	traceFile := fs.String("trace", "", "write a controller event trace to this file")
 	traceFormat := fs.String("trace-format", "jsonl", "trace format: jsonl|chrome")
+	shards := fs.Int("shards", 0,
+		"run the sharded pool throughput mode at N controllers instead of the workload "+
+			"harness (-txs seeded random block persists in batches of -persist-batch; "+
+			"N must divide the 1 GiB module — powers of two work; 0 = harness)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -112,6 +118,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "trace: %d events -> %s\n", sink.Count(), *traceFile)
 		}()
 		cfg.Tracer = sink
+	}
+
+	if *shards > 0 {
+		return runPoolBench(cfg, *shards, *txs, *persistBatch, *crash, *verify,
+			*recoveryWorkers, stdout, stderr)
 	}
 
 	res, err := harness.Run(harness.RunConfig{

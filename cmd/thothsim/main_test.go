@@ -127,3 +127,46 @@ func TestRunBatchedPersistFlags(t *testing.T) {
 		t.Errorf("output missing recovery line:\n%s", out.String())
 	}
 }
+
+// TestRunPoolThroughput drives `thothsim -shards N` end to end: seeded
+// random persists through the sharded pool, throughput plus pooled and
+// per-shard stats on stdout.
+func TestRunPoolThroughput(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-shards", "2", "-txs", "400", "-persist-batch", "16", "-verify"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, want := range []string{"pool shards=2", "ops/sec=", "shard 0:", "shard 1:", "verify: all shards consistent"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunPoolCrashRecover crashes the even-indexed shard subset after
+// the run, recovers it, and verifies every written block.
+func TestRunPoolCrashRecover(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-shards", "2", "-txs", "400", "-crash", "-recovery-workers", "2"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, want := range []string{"crashed shards [true false]", "1/2 shards recovered", "recovery verified:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunPoolRejectsBadShards pins the divisibility validation end to
+// end: 3 does not divide the 1 GiB module.
+func TestRunPoolRejectsBadShards(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-shards", "3", "-txs", "10"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "thothsim: pool:") {
+		t.Errorf("bad shard count not reported: %q", errw.String())
+	}
+}

@@ -1,0 +1,288 @@
+package main
+
+// The -shards modes: instead of the single-controller workload harness,
+// drive a sharded engine.Pool with seeded random block persists and
+// report aggregate throughput. The batch mode (`thothsim -shards N`)
+// measures ops/sec and optionally crashes a shard subset and recovers
+// it; the serve mode (`thothsim serve -shards N`) runs persist rounds
+// forever behind the same /metrics, /statsz and /debug endpoints, with
+// the engine's per-shard families (thoth_pool_shard_*) live in the
+// registry.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	thoth "repro"
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/scheme"
+	"repro/internal/stats"
+)
+
+// poolRNG is a splitmix64 generator: the pool drivers are seeded and
+// deterministic so two runs at the same flags issue identical traffic.
+type poolRNG struct{ s uint64 }
+
+func (r *poolRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4568b
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// poolBatch builds one batch of block-aligned random writes over the
+// pool's data space and records each block's final payload in golden.
+func poolBatch(pool *thoth.Pool, rng *poolRNG, n int, golden map[int64][]byte) []thoth.WriteReq {
+	bs := int64(pool.BlockSize())
+	nBlocks := uint64(pool.DataSize() / bs)
+	batch := make([]thoth.WriteReq, n)
+	for i := range batch {
+		addr := int64(rng.next()%nBlocks) * bs
+		data := make([]byte, bs)
+		for o := 0; o < len(data); o += 8 {
+			v := rng.next()
+			for b := 0; b < 8 && o+b < len(data); b++ {
+				data[o+b] = byte(v >> (8 * b))
+			}
+		}
+		batch[i] = thoth.WriteReq{Addr: addr, Data: data}
+		if golden != nil {
+			golden[addr] = data
+		}
+	}
+	return batch
+}
+
+// poolCrashSubset crashes every even-indexed shard: a fixed, documented
+// subset so the recovery report is comparable across runs (the
+// randomized subsets live in the crashfuzz differential).
+func poolCrashSubset(shards int) []bool {
+	mask := make([]bool, shards)
+	for i := 0; i < shards; i += 2 {
+		mask[i] = true
+	}
+	return mask
+}
+
+// runPoolBench implements `thothsim -shards N`: persist `blocks` seeded
+// random blocks through the pool in batches of `depth`, report
+// wall-clock ops/sec and the pooled stats, and with -crash take down
+// the even-indexed shards, recover them in parallel, reopen, and verify
+// every written block against the driver's golden map.
+func runPoolBench(cfg config.Config, shards, blocks, depth int, crash, verify bool, recWorkers int, stdout, stderr io.Writer) int {
+	if depth <= 0 {
+		depth = 64
+	}
+	pool, err := thoth.NewPool(cfg, shards)
+	if err != nil {
+		fmt.Fprintln(stderr, "thothsim: pool:", err)
+		return 1
+	}
+	rng := &poolRNG{s: uint64(cfg.Seed)}
+	golden := make(map[int64][]byte)
+	start := time.Now()
+	for written := 0; written < blocks; {
+		n := depth
+		if blocks-written < n {
+			n = blocks - written
+		}
+		if err := pool.PersistBatch(poolBatch(pool, rng, n, golden)); err != nil {
+			fmt.Fprintln(stderr, "thothsim: pool persist:", err)
+			return 1
+		}
+		written += n
+	}
+	elapsed := time.Since(start)
+
+	st, err := pool.Stats()
+	if err != nil {
+		fmt.Fprintln(stderr, "thothsim: pool stats:", err)
+		return 1
+	}
+	cycle, _ := pool.Elapsed()
+	info := pool.SchemeInfo()
+	fmt.Fprintf(stdout, "pool shards=%d scheme=%s block=%dB blocks=%d batch=%d\n",
+		shards, info.Name, cfg.BlockSize, blocks, depth)
+	fmt.Fprintf(stdout, "wall=%v ops/sec=%.0f cycles=%d (makespan across shards)\n",
+		elapsed.Round(time.Millisecond), float64(blocks)/elapsed.Seconds(), cycle)
+	fmt.Fprintln(stdout, st.String())
+	for i := 0; i < shards; i++ {
+		ss, err := pool.ShardStats(i)
+		if err != nil {
+			fmt.Fprintln(stderr, "thothsim: pool stats:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "  shard %d: cycles=%d writes=%d\n", i, ss.Cycles, ss.TotalWrites())
+	}
+
+	if verify {
+		if err := pool.VerifyCrashConsistency(); err != nil {
+			fmt.Fprintln(stderr, "thothsim: pool verify:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "verify: all shards consistent")
+	}
+
+	if !crash {
+		if _, err := pool.Shutdown(); err != nil {
+			fmt.Fprintln(stderr, "thothsim: pool shutdown:", err)
+			return 1
+		}
+		return 0
+	}
+
+	mask := poolCrashSubset(shards)
+	img, err := pool.CrashShards(mask)
+	if err != nil {
+		fmt.Fprintln(stderr, "thothsim: pool crash:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "crashed shards %v\n", mask)
+	rep, err := thoth.RecoverPool(cfg, shards, img, thoth.RecoverOpts{Workers: recWorkers})
+	if err != nil {
+		fmt.Fprintln(stderr, "thothsim: pool recovery failed:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, rep)
+	pool2, err := thoth.OpenPool(cfg, shards, img)
+	if err != nil {
+		fmt.Fprintln(stderr, "thothsim: pool reopen:", err)
+		return 1
+	}
+	defer pool2.Shutdown()
+	for addr, want := range golden {
+		got, err := pool2.Read(addr, len(want))
+		if err != nil {
+			fmt.Fprintf(stderr, "thothsim: pool block %#x unreadable after recovery: %v\n", addr, err)
+			return 1
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				fmt.Fprintf(stderr, "thothsim: pool block %#x corrupted across crash\n", addr)
+				return 1
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "recovery verified: %d blocks match the pre-crash payloads\n", len(golden))
+	return 0
+}
+
+// poolServeSim is the pool-backed serving simulation behind
+// `thothsim serve -shards N`: rounds persist seeded random blocks
+// through the sharded engine while the HTTP handlers read the shared
+// registry (per-shard thoth_pool_shard_* families included, fed by the
+// engine itself).
+type poolServeSim struct {
+	reg         *metrics.Registry
+	pool        *thoth.Pool
+	cfg         config.Config
+	roundBlocks int
+	rng         *poolRNG
+
+	mu     sync.Mutex
+	snap   stats.Stats
+	rounds int64
+	blocks int64
+	cycle  int64
+}
+
+func newPoolServeSim(cfg config.Config, shards, roundBlocks int) (*poolServeSim, error) {
+	if roundBlocks <= 0 {
+		return nil, fmt.Errorf("serve: round size %d must be positive", roundBlocks)
+	}
+	reg := metrics.New()
+	cfg.Metrics = reg
+	pool, err := thoth.NewPool(cfg, shards)
+	if err != nil {
+		return nil, fmt.Errorf("serve: pool: %w", err)
+	}
+	s := &poolServeSim{
+		reg:         reg,
+		pool:        pool,
+		cfg:         cfg,
+		roundBlocks: roundBlocks,
+		rng:         &poolRNG{s: uint64(cfg.Seed)},
+	}
+	if err := s.publishSnap(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *poolServeSim) round() error {
+	if err := s.pool.PersistBatch(poolBatch(s.pool, s.rng, s.roundBlocks, nil)); err != nil {
+		return err
+	}
+	return s.publishSnap()
+}
+
+func (s *poolServeSim) publishSnap() error {
+	snap, err := s.pool.Stats()
+	if err != nil {
+		return err
+	}
+	cycle, err := s.pool.Elapsed()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.rounds > 0 { // the constructor's publish precedes any round
+		s.blocks += int64(s.roundBlocks)
+	}
+	s.snap = snap
+	s.rounds++
+	s.cycle = cycle
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *poolServeSim) schemeInfo() scheme.Info { return s.pool.SchemeInfo() }
+
+func (s *poolServeSim) now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycle
+}
+
+// poolStatsz is the JSON document served at /statsz in pool mode.
+type poolStatsz struct {
+	Scheme           string  `json:"scheme"`
+	SchemeGuarantees string  `json:"scheme_guarantees"`
+	Shards           int     `json:"shards"`
+	Rounds           int64   `json:"rounds"`
+	Cycle            int64   `json:"cycle"`
+	BlocksPersisted  int64   `json:"blocks_persisted"`
+	TotalWrites      int64   `json:"total_writes"`
+	NVMReads         int64   `json:"nvm_reads"`
+	CtrHitRate       float64 `json:"ctr_hit_rate"`
+	MACHitRate       float64 `json:"mac_hit_rate"`
+	MTHitRate        float64 `json:"mt_hit_rate"`
+	PUBEvictions     int64   `json:"pub_evictions"`
+	CtrOverflows     int64   `json:"ctr_overflows"`
+}
+
+func (s *poolServeSim) statsz() poolStatsz {
+	s.mu.Lock()
+	snap, rounds, blocks, cycle := s.snap, s.rounds, s.blocks, s.cycle
+	s.mu.Unlock()
+	info := s.pool.SchemeInfo()
+	return poolStatsz{
+		Scheme:           info.Name,
+		SchemeGuarantees: info.Guarantees,
+		Shards:           s.pool.Shards(),
+		Rounds:           rounds - 1, // the constructor's initial publish is round 0
+		Cycle:            cycle,
+		BlocksPersisted:  blocks,
+		TotalWrites:      snap.TotalWrites(),
+		NVMReads:         snap.NVMReads,
+		CtrHitRate:       snap.CtrHitRate(),
+		MACHitRate:       snap.MACHitRate(),
+		MTHitRate:        snap.MTHitRate(),
+		PUBEvictions:     snap.PUBEvictions,
+		CtrOverflows:     snap.CtrOverflows,
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/harness"
@@ -89,11 +91,16 @@ func newServeSim(cfg config.Config, workload string, setupKeys, warmupTxs, round
 
 // round executes one round of transactions and refreshes the /statsz
 // snapshot.
-func (s *serveSim) round() {
+func (s *serveSim) round() error {
 	s.runner.RunTxs(s.roundTxs)
 	s.runner.Controller().SyncStats()
 	s.publishSnap()
+	return nil
 }
+
+func (s *serveSim) schemeInfo() scheme.Info { return s.runner.Controller().SchemeInfo() }
+
+func (s *serveSim) now() int64 { return s.runner.Now() }
 
 func (s *serveSim) publishSnap() {
 	snap := *s.runner.Controller().Stats()
@@ -159,15 +166,16 @@ func (s *serveSim) statsz() statsz {
 // promContentType is the Prometheus text exposition content type.
 const promContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// mux builds the serve-mode HTTP handler: /metrics (Prometheus text
-// format), /statsz (JSON snapshot), /debug/vars (expvar, including the
-// registry bridge) and /debug/pprof/*.
-func (s *serveSim) mux() *http.ServeMux {
-	metrics.Publish("thoth", s.reg)
+// buildServeMux builds the serve-mode HTTP handler: /metrics
+// (Prometheus text format), /statsz (JSON snapshot), /debug/vars
+// (expvar, including the registry bridge) and /debug/pprof/*. Both the
+// harness-backed and the pool-backed sims serve through it.
+func buildServeMux(reg *metrics.Registry, statsz func() any) *http.ServeMux {
+	metrics.Publish("thoth", reg)
 	m := http.NewServeMux()
 	m.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", promContentType)
-		if err := metrics.WriteProm(w, s.reg); err != nil {
+		if err := metrics.WriteProm(w, reg); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -175,7 +183,7 @@ func (s *serveSim) mux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s.statsz()); err != nil {
+		if err := enc.Encode(statsz()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -188,6 +196,14 @@ func (s *serveSim) mux() *http.ServeMux {
 		http.DefaultServeMux.ServeHTTP(w, r) // expvar registers itself there
 	})
 	return m
+}
+
+func (s *serveSim) mux() *http.ServeMux {
+	return buildServeMux(s.reg, func() any { return s.statsz() })
+}
+
+func (s *poolServeSim) mux() *http.ServeMux {
+	return buildServeMux(s.reg, func() any { return s.statsz() })
 }
 
 // runServe implements the `thothsim serve` subcommand: boot the
@@ -208,6 +224,9 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	round := fs.Int("round", 2000, "transactions per serving round")
 	rounds := fs.Int("rounds", 0, "rounds to run before exiting (0 = until interrupted)")
 	pubKiB := fs.Int64("pub", 1024, "PUB size in KiB")
+	shards := fs.Int("shards", 0,
+		"serve a sharded pool at N controllers instead of the workload harness "+
+			"(rounds persist -round seeded random blocks; 0 = single-controller harness)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -225,7 +244,14 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	cfg.PUBBytes = *pubKiB << 10
 	cfg.LLCBytes = 1 << 20
 
-	sim, err := newServeSim(cfg, *wl, *setup, *warmup, *round, nil)
+	var sim roundSim
+	served := *wl
+	if *shards > 0 {
+		served = fmt.Sprintf("pool(%d shards)", *shards)
+		sim, err = newPoolServeSim(cfg, *shards, *round)
+	} else {
+		sim, err = newServeSim(cfg, *wl, *setup, *warmup, *round, nil)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "thothsim serve:", err)
 		return 1
@@ -236,12 +262,57 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "thothsim serve:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: sim.mux()}
-	go srv.Serve(ln)
-	defer srv.Close()
-	info := sim.runner.Controller().SchemeInfo()
 	fmt.Fprintf(stdout, "serving workload=%s scheme=%v on http://%s  (/metrics /statsz /debug/pprof/ /debug/vars)\n",
-		*wl, sch, ln.Addr())
+		served, sch, ln.Addr())
+	return serveWith(sim, ln, *rounds, *round, stdout, stderr)
+}
+
+// newServeServer builds the serve-mode HTTP server. A client that
+// dribbles its request header one byte at a time (slowloris) must not
+// pin a connection forever, hence ReadHeaderTimeout; no WriteTimeout,
+// though — /debug/pprof/profile and /debug/pprof/trace stream for a
+// caller-chosen duration.
+func newServeServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// roundSim is what the serving loop drives: one round of simulated
+// work at a time, behind an HTTP mux. Implemented by the harness-backed
+// serveSim and the pool-backed poolServeSim.
+type roundSim interface {
+	mux() *http.ServeMux
+	round() error
+	schemeInfo() scheme.Info
+	now() int64
+}
+
+// serveWith runs the serving loop over an already-bound listener: rounds
+// of transactions until the budget is exhausted (-rounds 0 = until
+// interrupted), with the HTTP server's failure, a simulation failure or
+// an interrupt breaking the loop.
+func serveWith(sim roundSim, ln net.Listener, rounds, roundTxs int, stdout, stderr io.Writer) int {
+	srv := newServeServer(sim.mux())
+	// Serve's error must not be dropped: a listener failure mid-run
+	// (socket closed underneath us, fd exhaustion) should stop the
+	// simulation loop and exit non-zero instead of silently serving
+	// nothing. The channel is buffered so the goroutine never leaks if
+	// the loop exits first.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+	// shutdown drains in-flight requests before exit; the deadline keeps
+	// a stuck streaming handler from wedging the process (the deferred
+	// Close above is the backstop).
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	info := sim.schemeInfo()
 	fmt.Fprintf(stdout, "scheme %s: %s\n", info.Name, info.Guarantees)
 	for _, tun := range info.Tunables {
 		fmt.Fprintf(stdout, "  %s=%s\n", tun.Name, tun.Value)
@@ -251,16 +322,27 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	signal.Notify(interrupt, os.Interrupt)
 	defer signal.Stop(interrupt)
 
-	for n := 0; *rounds == 0 || n < *rounds; n++ {
+	for n := 0; rounds == 0 || n < rounds; n++ {
 		select {
 		case <-interrupt:
 			fmt.Fprintln(stdout, "interrupted; shutting down")
+			shutdown()
 			return 0
+		case err := <-serveErr:
+			// Shutdown has not been called yet, so this is never
+			// ErrServerClosed — the listener genuinely failed.
+			fmt.Fprintln(stderr, "thothsim serve:", err)
+			return 1
 		default:
 		}
-		sim.round()
+		if err := sim.round(); err != nil {
+			fmt.Fprintln(stderr, "thothsim serve:", err)
+			shutdown()
+			return 1
+		}
 	}
 	fmt.Fprintf(stdout, "completed %d rounds (%d txs) at cycle %d\n",
-		*rounds, *rounds**round, sim.runner.Now())
+		rounds, rounds*roundTxs, sim.now())
+	shutdown()
 	return 0
 }

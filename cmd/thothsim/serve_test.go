@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -212,6 +213,43 @@ func TestRunServeCLI(t *testing.T) {
 	}
 }
 
+// TestServeServerTimeouts pins the slowloris fix: the serve-mode server
+// must bound header reads and idle keep-alives, but must NOT set a
+// write timeout (pprof profile/trace handlers stream for a
+// caller-chosen duration).
+func TestServeServerTimeouts(t *testing.T) {
+	srv := newServeServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: a slowloris client can pin connections forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections are never reclaimed")
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v: streaming pprof handlers would be cut off", srv.WriteTimeout)
+	}
+}
+
+// TestServeWithListenerFailure pins the dropped-error fix: when the
+// listener dies underneath the server mid-run, the serving loop must
+// notice, report, and exit non-zero instead of simulating forever while
+// serving nothing.
+func TestServeWithListenerFailure(t *testing.T) {
+	sim := newTestSim(t, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // srv.Serve fails on the first Accept
+	var out, errw bytes.Buffer
+	if code := serveWith(sim, ln, 0, 50, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout: %s)", code, out.String())
+	}
+	if !strings.Contains(errw.String(), "thothsim serve:") {
+		t.Errorf("serve failure not reported on stderr: %q", errw.String())
+	}
+}
+
 func TestRunServeRejectsBadFlags(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{"serve", "-scheme", "nonsense"}, &out, &errw); code != 1 {
@@ -222,5 +260,74 @@ func TestRunServeRejectsBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"serve", "-round", "0", "-rounds", "1"}, &out, &errw); code != 1 {
 		t.Fatalf("zero round size: exit %d, want 1", code)
+	}
+}
+
+// TestServePoolEndpoints boots the pool-backed serve sim and checks the
+// live observability surface: /statsz carries the pooled snapshot and
+// /metrics carries the engine's per-shard families with shard labels.
+func TestServePoolEndpoints(t *testing.T) {
+	cfg := serveTestConfig()
+	sim, err := newPoolServeSim(cfg, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.round(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sim.mux())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /statsz: %s", resp.Status)
+	}
+	var got poolStatsz
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("/statsz is not valid JSON: %v\n%s", err, body)
+	}
+	if got.Shards != 4 || got.Scheme != "thoth-wtsc" {
+		t.Errorf("statsz identity = %d shards / %s", got.Shards, got.Scheme)
+	}
+	if got.Rounds != 1 || got.BlocksPersisted != 200 {
+		t.Errorf("rounds=%d blocks=%d, want 1/200", got.Rounds, got.BlocksPersisted)
+	}
+	if got.Cycle <= 0 || got.TotalWrites <= 0 {
+		t.Errorf("statsz progress not positive: cycle=%d writes=%d", got.Cycle, got.TotalWrites)
+	}
+
+	resp, body = get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if _, err := metrics.ValidateProm(bytes.NewReader(body)); err != nil {
+		t.Fatalf("pool scrape failed exposition validation: %v", err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`thoth_pool_shard_ops_total{shard="0"}`,
+		`thoth_pool_shard_ops_total{shard="3"}`,
+		`thoth_pool_shard_blocks_total{shard="2"}`,
+		`thoth_pool_shard_cycles{shard="1"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing per-shard sample %s\n%s", want, text)
+		}
+	}
+}
+
+// TestRunServePoolCLI drives `thothsim serve -shards N` end to end.
+func TestRunServePoolCLI(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"serve", "-addr", "127.0.0.1:0", "-shards", "2", "-rounds", "2", "-round", "100",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, want := range []string{"serving workload=pool(2 shards)", "completed 2 rounds"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
 	}
 }

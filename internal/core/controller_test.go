@@ -365,7 +365,7 @@ func TestResetStats(t *testing.T) {
 	c.ResetStats()
 	c.SyncStats()
 	if c.Stats().TotalWrites() != 0 || c.Stats().PCBInserted != 0 ||
-		c.Device().TotalWrites != 0 {
+		c.Device().TotalWrites() != 0 {
 		t.Fatal("ResetStats must zero all counters")
 	}
 	// The controller still works after a reset.

@@ -46,6 +46,10 @@ const (
 	// crash image, different statistics, a different recovery outcome,
 	// or different recovered plaintext.
 	VPersistDiverge
+	// VPoolDiverge: a sharded pool fed the identical trace, crashed on
+	// an arbitrary shard subset and recovered shard-by-shard, disagrees
+	// with the single-controller reference about recovered plaintext.
+	VPoolDiverge
 )
 
 // String names the kind for reports.
@@ -69,6 +73,8 @@ func (k ViolationKind) String() string {
 		return "parallel-diverge"
 	case VPersistDiverge:
 		return "persist-diverge"
+	case VPoolDiverge:
+		return "pool-diverge"
 	default:
 		return "violation?"
 	}

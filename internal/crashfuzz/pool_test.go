@@ -1,0 +1,77 @@
+package crashfuzz
+
+import (
+	"testing"
+)
+
+// poolOracle is the sweep driver: each seed runs the pool differential
+// at its derived shard count and crash subset.
+func poolOracle(seed int64) *Result {
+	return RunPool(seed, PoolShardsFor(seed))
+}
+
+// TestPoolDifferential is the crash-any-subset-of-shards acceptance
+// sweep (the full 200 seeds run in `make pool-diff`; the tier-1 slice
+// here keeps `go test ./...` quick): on every seed, a pool of 2/4/8/16
+// shards fed the identical trace, crashed on a seed-derived shard
+// subset and recovered shard-by-shard, must agree block-for-block with
+// the plaintext oracle AND with the single-controller reference run.
+func TestPoolDifferential(t *testing.T) {
+	n := 48
+	if testing.Short() {
+		n = 12
+	}
+	sw := SweepWith(1, n, 4, poolOracle)
+	if sw.Failed() {
+		t.Fatalf("\n%s", sw)
+	}
+	if sw.Cases != n {
+		t.Fatalf("ran %d cases, want %d", sw.Cases, n)
+	}
+}
+
+// TestPoolCrashMaskDeterministic pins the mask derivation: pure in
+// (seed, shards), always at least one crashed shard, and not the same
+// subset on every seed (the sweep must actually vary coverage).
+func TestPoolCrashMaskDeterministic(t *testing.T) {
+	distinct := make(map[string]bool)
+	for seed := int64(1); seed <= 64; seed++ {
+		a := PoolCrashMask(seed, 8)
+		b := PoolCrashMask(seed, 8)
+		if len(a) != 8 || len(b) != 8 {
+			t.Fatalf("seed %d: mask length %d/%d, want 8", seed, len(a), len(b))
+		}
+		crashed := 0
+		key := ""
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: mask not deterministic at shard %d", seed, i)
+			}
+			if a[i] {
+				crashed++
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		if crashed == 0 {
+			t.Fatalf("seed %d: no shard crashed", seed)
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 16 {
+		t.Fatalf("only %d distinct masks over 64 seeds; mask derivation looks degenerate", len(distinct))
+	}
+}
+
+// TestRunPoolKnownSeed spot-checks one seed end to end at every
+// supported shard count, including ones the mixed sweep might not hit
+// for this seed.
+func TestRunPoolKnownSeed(t *testing.T) {
+	for _, shards := range []int{2, 4, 8, 16} {
+		res := RunPool(7, shards)
+		if res.Failed() {
+			t.Fatalf("shards=%d:\n%s", shards, res)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/recovery"
+)
+
+// testConfig returns a pool-sized configuration: small enough that the
+// routing tests can enumerate every data block, large enough to hold
+// many metadata groups per shard.
+func testConfig(blockSize, pageBytes int) config.Config {
+	cfg := config.Default()
+	cfg.BlockSize = blockSize
+	cfg.PageBytes = pageBytes
+	cfg.MemBytes = 32 << 20
+	cfg.PUBBytes = 128 << 10
+	cfg.LLCBytes = 256 << 10
+	cfg.CtrCacheBytes = 8 << 10
+	cfg.MACCacheBytes = 8 << 10
+	cfg.MTCacheBytes = 8 << 10
+	return cfg
+}
+
+// blockGeometries are the (BlockSize, PageBytes) combinations the
+// config and layout permit: every supported block size against small
+// and canonical split-counter pages. (256B blocks over 1 KiB pages are
+// excluded by layout for any module size: one counter block per 4 data
+// blocks plus MACs needs ~1.4x the data region, more than the 1/4 of
+// the module reserved for metadata.)
+var blockGeometries = [][2]int{
+	{64, 1024}, {64, 4096},
+	{128, 1024}, {128, 4096},
+	{256, 2048}, {256, 4096},
+}
+
+// TestRoutingPartition enumerates every data block of pools at several
+// shard counts across all permitted (BlockSize, PageBytes) geometries
+// and checks the full routing contract:
+//   - every block maps to exactly one shard, with a block-aligned local
+//     offset inside that shard's usable region;
+//   - the map is a bijection — per shard, local offsets tile the shard
+//     region exactly, with no collisions;
+//   - no metadata group straddles shards: any two blocks sharing a
+//     split-counter page or a MAC home block land on the same shard,
+//     contiguously (local offsets differ exactly as the pool offsets do).
+func TestRoutingPartition(t *testing.T) {
+	for _, geo := range blockGeometries {
+		bs, page := geo[0], geo[1]
+		for _, n := range []int{1, 2, 4, 8} {
+			cfg := testConfig(bs, page)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("bs=%d page=%d: config invalid: %v", bs, page, err)
+			}
+			p, err := New(cfg, n)
+			if err != nil {
+				t.Fatalf("bs=%d page=%d shards=%d: New: %v", bs, page, n, err)
+			}
+			checkPartition(t, p, cfg)
+			if _, err := p.Shutdown(); err != nil {
+				t.Fatalf("bs=%d page=%d shards=%d: shutdown: %v", bs, page, n, err)
+			}
+		}
+	}
+}
+
+func checkPartition(t *testing.T, p *Pool, cfg config.Config) {
+	t.Helper()
+	bs := int64(cfg.BlockSize)
+	group := recovery.GroupBlocks(cfg) * bs
+	if p.GroupBytes() != group {
+		t.Fatalf("GroupBytes = %d, want %d", p.GroupBytes(), group)
+	}
+	if p.DataSize()%group != 0 || p.DataSize() <= 0 {
+		t.Fatalf("DataSize %d not a positive multiple of the group span %d", p.DataSize(), group)
+	}
+	macSpan := int64(cfg.MACsPerBlock()) * bs
+
+	seen := make([]map[int64]int64, p.Shards()) // shard -> local -> pool addr
+	for i := range seen {
+		seen[i] = make(map[int64]int64)
+	}
+	prevShard, prevLocal := -1, int64(0)
+	for addr := int64(0); addr < p.DataSize(); addr += bs {
+		sh, local := p.locate(addr)
+		if sh < 0 || sh >= p.Shards() {
+			t.Fatalf("addr %d: shard %d out of range", addr, sh)
+		}
+		if local < 0 || local >= p.perShard || local%bs != 0 {
+			t.Fatalf("addr %d: local %d outside [0,%d) or unaligned", addr, local, p.perShard)
+		}
+		if dup, ok := seen[sh][local]; ok {
+			t.Fatalf("shard %d local %d claimed by both pool addr %d and %d", sh, local, dup, addr)
+		}
+		seen[sh][local] = addr
+		if p.Shards() == 1 && (sh != 0 || local != addr) {
+			t.Fatalf("one-shard pool must route identically: addr %d -> (%d,%d)", addr, sh, local)
+		}
+		// Group integrity: same split-counter page or same MAC home block
+		// => same shard, contiguous local placement.
+		if prevShard >= 0 {
+			prev := addr - bs
+			samePage := prev/int64(cfg.PageBytes) == addr/int64(cfg.PageBytes)
+			sameMAC := prev/macSpan == addr/macSpan
+			if (samePage || sameMAC) && (sh != prevShard || local != prevLocal+bs) {
+				t.Fatalf("metadata group straddles shards at addr %d: (%d,%d) after (%d,%d)",
+					addr, sh, local, prevShard, prevLocal)
+			}
+		}
+		prevShard, prevLocal = sh, local
+	}
+	// The per-shard locals must tile each shard region exactly.
+	want := int(p.perShard / bs)
+	for sh, m := range seen {
+		if len(m) != want {
+			t.Fatalf("shard %d holds %d blocks, want %d", sh, len(m), want)
+		}
+	}
+}
+
+// TestRoutingGroupNeverSplit drives the group invariant directly: for
+// every block, the shard and the relative local offset must match its
+// group base.
+func TestRoutingGroupNeverSplit(t *testing.T) {
+	cfg := testConfig(128, 4096)
+	p, err := New(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	group := p.GroupBytes()
+	for addr := int64(0); addr < p.DataSize(); addr += int64(cfg.BlockSize) {
+		base := addr / group * group
+		bsh, blocal := p.locate(base)
+		sh, local := p.locate(addr)
+		if sh != bsh || local != blocal+(addr-base) {
+			t.Fatalf("addr %d leaves its group: (%d,%d), group base %d -> (%d,%d)",
+				addr, sh, local, base, bsh, blocal)
+		}
+	}
+}
+
+// TestShardConfigRejects pins the constructor's validation: shard counts
+// outside [1, MaxShards] and non-divisible MemBytes must fail.
+func TestShardConfigRejects(t *testing.T) {
+	cfg := testConfig(128, 4096)
+	for _, n := range []int{0, -1, MaxShards + 1} {
+		if _, err := New(cfg, n); err == nil {
+			t.Fatalf("shards=%d must be rejected", n)
+		}
+	}
+	bad := cfg
+	bad.MemBytes = 32<<20 + 128 // 2^25 + 2^7 = 2+2 = 1 mod 3: not divisible by 3
+	if bad.MemBytes%3 == 0 {
+		t.Fatal("test setup: MemBytes unexpectedly divisible by 3")
+	}
+	if _, err := New(bad, 3); err == nil {
+		t.Fatal("non-divisible MemBytes must be rejected")
+	}
+}

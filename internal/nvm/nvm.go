@@ -51,11 +51,16 @@ type Device struct {
 	// paths never lock.
 	stripes *[lockStripes]sync.Mutex
 
-	// TotalWrites counts every block write since construction (or the
-	// last ResetWear), regardless of address.
-	TotalWrites int64
-	// TotalReads counts every block read.
-	TotalReads int64
+	// totalWrites counts every block write since construction (or the
+	// last ResetWear), regardless of address; totalReads counts every
+	// block read. Both are maintained with atomics on EVERY path —
+	// serial Device methods included — because a serial writer and a
+	// concurrent Shard writer may legally interleave on one device (a
+	// pool front-end persisting while a recovery worker replays another
+	// region), and mixing plain and atomic access to the same word is a
+	// data race. Read them with TotalWrites/TotalReads.
+	totalWrites int64
+	totalReads  int64
 
 	// zero backs View of never-written blocks. Per-device (not a lazily
 	// grown global) so concurrent simulations never race initializing
@@ -134,7 +139,7 @@ func (p *page) blockSlice(idx int64, blockSize int) []byte {
 // Never-written blocks view as zeros.
 func (d *Device) View(addr int64) []byte {
 	idx := d.index(addr)
-	d.TotalReads++
+	atomic.AddInt64(&d.totalReads, 1)
 	if p := d.pageOf(idx); p != nil {
 		return p.blockSlice(idx, d.blockSize)
 	}
@@ -149,7 +154,7 @@ func (d *Device) ReadBlockInto(dst []byte, addr int64) {
 		panic(fmt.Sprintf("nvm: read into %d bytes, block size is %d", len(dst), d.blockSize))
 	}
 	idx := d.index(addr)
-	d.TotalReads++
+	atomic.AddInt64(&d.totalReads, 1)
 	if p := d.pageOf(idx); p != nil {
 		copy(dst, p.blockSlice(idx, d.blockSize))
 		return
@@ -207,8 +212,16 @@ func (d *Device) WriteBlock(addr int64, data []byte) {
 	slot := idx % PageBlocks
 	p.written |= 1 << uint(slot)
 	p.wear[slot]++
-	d.TotalWrites++
+	atomic.AddInt64(&d.totalWrites, 1)
 }
+
+// TotalWrites returns the number of block writes since construction or
+// the last ResetWear. Safe to call concurrently with any writer.
+func (d *Device) TotalWrites() int64 { return atomic.LoadInt64(&d.totalWrites) }
+
+// TotalReads returns the number of counted block reads since
+// construction or the last ResetWear. Safe to call concurrently.
+func (d *Device) TotalReads() int64 { return atomic.LoadInt64(&d.totalReads) }
 
 // lockFor returns the stripe mutex guarding block idx's page.
 func (d *Device) lockFor(idx int64) *sync.Mutex {
@@ -260,7 +273,7 @@ func (s Shard) WriteBlock(addr int64, data []byte) {
 	p.written |= 1 << uint(slot)
 	p.wear[slot]++
 	mu.Unlock()
-	atomic.AddInt64(&d.TotalWrites, 1)
+	atomic.AddInt64(&d.totalWrites, 1)
 }
 
 // setBlock stores contents without touching wear or write counters
@@ -377,8 +390,8 @@ func (d *Device) ResetWear() {
 			clear(p.wear)
 		}
 	}
-	d.TotalWrites = 0
-	d.TotalReads = 0
+	atomic.StoreInt64(&d.totalWrites, 0)
+	atomic.StoreInt64(&d.totalReads, 0)
 }
 
 // Clone returns a deep copy of the device, including contents and wear.
@@ -397,8 +410,8 @@ func (d *Device) Clone() *Device {
 		}
 		c.pages[pi] = np
 	}
-	c.TotalWrites = d.TotalWrites
-	c.TotalReads = d.TotalReads
+	atomic.StoreInt64(&c.totalWrites, atomic.LoadInt64(&d.totalWrites))
+	atomic.StoreInt64(&c.totalReads, atomic.LoadInt64(&d.totalReads))
 	return c
 }
 

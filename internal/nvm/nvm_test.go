@@ -81,8 +81,8 @@ func TestWearAccounting(t *testing.T) {
 	d.WriteBlock(0, b)
 	d.WriteBlock(0, b)
 	d.WriteBlock(64, b)
-	if d.TotalWrites != 3 {
-		t.Fatalf("TotalWrites = %d, want 3", d.TotalWrites)
+	if d.TotalWrites() != 3 {
+		t.Fatalf("TotalWrites = %d, want 3", d.TotalWrites())
 	}
 	if got := d.Wear(0); got != 2 {
 		t.Fatalf("Wear(0) = %d, want 2", got)
@@ -92,7 +92,7 @@ func TestWearAccounting(t *testing.T) {
 		t.Fatalf("MaxWear = (%d,%d), want (2,2)", maxW, n)
 	}
 	d.ResetWear()
-	if d.TotalWrites != 0 || d.Wear(0) != 0 {
+	if d.TotalWrites() != 0 || d.Wear(0) != 0 {
 		t.Fatal("ResetWear must clear counters")
 	}
 }
@@ -101,8 +101,8 @@ func TestReadCounting(t *testing.T) {
 	d := newDev()
 	d.ReadBlock(0)
 	d.Peek(0)
-	if d.TotalReads != 1 {
-		t.Fatalf("TotalReads = %d, want 1 (Peek must not count)", d.TotalReads)
+	if d.TotalReads() != 1 {
+		t.Fatalf("TotalReads = %d, want 1 (Peek must not count)", d.TotalReads())
 	}
 }
 

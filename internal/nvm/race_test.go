@@ -1,0 +1,69 @@
+package nvm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDeviceAndShardCountersConcurrent interleaves the serial Device
+// write/read paths with concurrent Shard writes on a disjoint page range
+// while other goroutines poll the totals. Before the counters went
+// atomic on every path this was a data race (plain ++ on the serial
+// path vs atomic.Add on the Shard path); under -race this test pins the
+// fix, and the final totals must be exact regardless of schedule.
+func TestDeviceAndShardCountersConcurrent(t *testing.T) {
+	const bs = 64
+	const perWorker = 200
+	const shardWorkers = 4
+
+	// Serial traffic owns page 0; each shard worker owns its own later
+	// page, so block contents never race — only the shared counters do.
+	dev := New(int64((shardWorkers+1)*PageBlocks*bs), bs)
+	blk := make([]byte, bs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < shardWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := dev.Shard()
+			base := int64((w + 1) * PageBlocks * bs)
+			for i := 0; i < perWorker; i++ {
+				sh.WriteBlock(base+int64(i%PageBlocks)*bs, blk)
+			}
+		}(w)
+	}
+	// Concurrent readers of the totals (the pool front-end polls stats
+	// while shards persist).
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = dev.TotalWrites()
+				_ = dev.TotalReads()
+			}
+		}
+	}()
+	// The serial Device paths, concurrent with the Shard writers.
+	myBlk := make([]byte, bs)
+	for i := 0; i < perWorker; i++ {
+		dev.WriteBlock(int64(i%PageBlocks)*bs, blk)
+		dev.ReadBlockInto(myBlk, int64(i%PageBlocks)*bs)
+	}
+	wg.Wait()
+	close(stop)
+	rd.Wait()
+
+	if got, want := dev.TotalWrites(), int64((shardWorkers+1)*perWorker); got != want {
+		t.Fatalf("TotalWrites = %d, want %d", got, want)
+	}
+	if got, want := dev.TotalReads(), int64(perWorker); got != want {
+		t.Fatalf("TotalReads = %d, want %d", got, want)
+	}
+}

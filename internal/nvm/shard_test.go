@@ -48,8 +48,8 @@ func TestShardConcurrentSamePage(t *testing.T) {
 	if !dev.Equal(want) {
 		t.Fatal("concurrent shard writes diverge from serial writes")
 	}
-	if dev.TotalWrites != want.TotalWrites {
-		t.Fatalf("TotalWrites = %d, want %d", dev.TotalWrites, want.TotalWrites)
+	if dev.TotalWrites() != want.TotalWrites() {
+		t.Fatalf("TotalWrites = %d, want %d", dev.TotalWrites(), want.TotalWrites())
 	}
 	for i := 0; i < blocks; i++ {
 		addr := int64(i * bs)

@@ -54,6 +54,13 @@ type shardTask struct {
 	cyc int64
 }
 
+// GroupBlocks returns the metadata-group span in data blocks — the unit
+// that must never be split across shards, here or in the steady-state
+// pool engine (internal/engine), which partitions the address space by
+// whole groups for exactly the reason documented at the top of this
+// file.
+func GroupBlocks(cfg config.Config) int64 { return shardGroupBlocks(cfg) }
+
 // shardGroupBlocks returns the number of consecutive data blocks that
 // must stay in one shard: the least common multiple of the counter-block
 // span (one counter block per page) and the MAC-block span.

@@ -49,8 +49,8 @@ func assertParity(t *testing.T, cfg config.Config, img *nvm.Device, workerCounts
 		if !bytes.Equal(sbytes, imageBytes(t, pdev)) {
 			t.Fatalf("workers=%d: post-recovery image diverges from serial", w)
 		}
-		if pdev.TotalWrites != sdev.TotalWrites {
-			t.Fatalf("workers=%d: TotalWrites=%d, serial=%d", w, pdev.TotalWrites, sdev.TotalWrites)
+		if pdev.TotalWrites() != sdev.TotalWrites() {
+			t.Fatalf("workers=%d: TotalWrites=%d, serial=%d", w, pdev.TotalWrites(), sdev.TotalWrites())
 		}
 		if (srep == nil) != (prep == nil) {
 			t.Fatalf("workers=%d: report nil-ness diverges", w)

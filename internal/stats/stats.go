@@ -202,6 +202,45 @@ func (s Stats) Sub(prev Stats) Stats {
 	return d
 }
 
+// Add returns the counter-wise sum s + other. The sharded pool engine
+// uses it to merge per-shard controller snapshots into one pooled view:
+// every field is a plain event count, so summing across shards is exact.
+// Cycles is summed here too — for a pool that is aggregate controller
+// busy-cycles, not wall-clock; pool callers overwrite Cycles with the
+// shard maximum (the makespan) after merging.
+func (s Stats) Add(other Stats) Stats {
+	d := s
+	d.Cycles += other.Cycles
+	d.Transactions += other.Transactions
+	for i := range d.writes {
+		d.writes[i] += other.writes[i]
+	}
+	for i := range d.evicts {
+		d.evicts[i] += other.evicts[i]
+	}
+	d.NVMReads += other.NVMReads
+	d.LLCHits += other.LLCHits
+	d.LLCMisses += other.LLCMisses
+	d.CtrHits += other.CtrHits
+	d.CtrMisses += other.CtrMisses
+	d.MACHits += other.MACHits
+	d.MACMisses += other.MACMisses
+	d.MTHits += other.MTHits
+	d.MTMisses += other.MTMisses
+	d.PartialUpdates += other.PartialUpdates
+	d.PCBMerged += other.PCBMerged
+	d.PCBInserted += other.PCBInserted
+	d.WPQCoalesced += other.WPQCoalesced
+	d.WPQStallCycles += other.WPQStallCycles
+	d.WPQIssuedByAge += other.WPQIssuedByAge
+	d.WPQIssuedByWatermark += other.WPQIssuedByWatermark
+	d.WPQIssuedByStall += other.WPQIssuedByStall
+	d.PUBEvictions += other.PUBEvictions
+	d.PUBEntryEvictions += other.PUBEntryEvictions
+	d.CtrOverflows += other.CtrOverflows
+	return d
+}
+
 // AddWrite records one block write of the given category.
 func (s *Stats) AddWrite(c WriteCategory) { s.writes[c]++ }
 

@@ -117,6 +117,36 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// Add must be the exact inverse of Sub field-by-field: (a.Add(b)).Sub(b)
+// == a for arbitrary snapshots, so pooled stats merged with Add can be
+// decomposed with Sub without drift. Exercised over the exported fields
+// plus the unexported write/evict tallies.
+func TestAddInvertsSub(t *testing.T) {
+	var a, b Stats
+	a.Cycles, b.Cycles = 100, 7
+	a.Transactions, b.Transactions = 10, 3
+	a.NVMReads, b.NVMReads = 5, 11
+	a.WPQStallCycles, b.WPQStallCycles = 2, 9
+	a.PCBMerged, b.PCBMerged = 4, 1
+	a.CtrOverflows, b.CtrOverflows = 1, 1
+	a.AddWrite(WriteData)
+	a.AddWrite(WriteCounter)
+	b.AddWrite(WriteData)
+	a.AddEvict(EvictStaleCopy)
+	b.AddEvict(EvictWrittenBack)
+
+	sum := a.Add(b)
+	if got, want := sum.TotalWrites(), a.TotalWrites()+b.TotalWrites(); got != want {
+		t.Fatalf("sum.TotalWrites = %d, want %d", got, want)
+	}
+	if got, want := sum.TotalEvicts(), a.TotalEvicts()+b.TotalEvicts(); got != want {
+		t.Fatalf("sum.TotalEvicts = %d, want %d", got, want)
+	}
+	if back := sum.Sub(b); back != a {
+		t.Fatalf("Add then Sub is not identity:\n got %+v\nwant %+v", back, a)
+	}
+}
+
 // Property: write shares always sum to 1 when any writes exist, and each
 // share is within [0,1].
 func TestWriteSharesSumToOne(t *testing.T) {

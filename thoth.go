@@ -28,12 +28,12 @@
 package thoth
 
 import (
-	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/metrics"
@@ -45,13 +45,15 @@ import (
 )
 
 // Sentinel errors for the two access-failure classes. They are wrapped
-// with call-site detail; test with errors.Is.
+// with call-site detail; test with errors.Is. The same sentinels are
+// returned by both System and Pool (the values live in internal/engine
+// so the sharded front-end can share them without an import cycle).
 var (
 	// ErrCrashed reports an operation on a system that has crashed (or
 	// shut down). Recover the device image and Open a new system.
-	ErrCrashed = errors.New("thoth: system has crashed")
+	ErrCrashed = engine.ErrCrashed
 	// ErrOutOfRange reports an access outside the protected data region.
-	ErrOutOfRange = errors.New("thoth: access outside data region")
+	ErrOutOfRange = engine.ErrOutOfRange
 )
 
 // Config is the machine configuration (Table I parameters plus sweep
@@ -349,11 +351,9 @@ func (s *System) Write(addr int64, data []byte) error {
 
 // WriteReq is one full-block write of a PersistBatch: a block-aligned
 // offset into the protected data region and exactly BlockSize bytes of
-// data. The slice is only read during the call.
-type WriteReq struct {
-	Addr int64
-	Data []byte
-}
+// data. The slice is only read during the call. System.PersistBatch and
+// Pool.PersistBatch share the type.
+type WriteReq = engine.WriteReq
 
 // PersistBatch persists a batch of full-block writes through the batched
 // parallel pipeline: pad generation and MAC computation fan out across
@@ -661,6 +661,54 @@ func Replay(cfg Config, r io.Reader) (*ReplayResult, error) {
 // WorkloadNames lists the available benchmarks.
 func WorkloadNames() []string {
 	return []string{"btree", "ctree", "hashmap", "rbtree", "swap"}
+}
+
+// Sharded multi-controller pool. A Pool address-partitions one logical
+// protected data region across N independent controller shards — each
+// with its own WPQ, PCB, PUB, integrity tree and crypto engine over its
+// slice — and routes requests by metadata group (lcm(BlocksPerPage,
+// MACsPerBlock) consecutive blocks, the unit the parallel recovery
+// engine proved safe to shard). Unlike a System, a Pool is safe for
+// concurrent use: per-shard goroutines serialize each shard's stream
+// behind bounded mailboxes while distinct shards run in parallel. A
+// one-shard Pool is byte-identical to a System over the same config.
+
+// Pool is the sharded multi-controller system. Construct with NewPool,
+// or OpenPool for an existing image.
+type Pool = engine.Pool
+
+// PoolImage is the persistent state a pool leaves after Crash,
+// CrashShards or Shutdown: one device image per shard plus which shards
+// crashed. RecoverPool repairs it; OpenPool re-attaches to it.
+type PoolImage = engine.PoolImage
+
+// PoolReport is RecoverPool's outcome: one RecoveryReport per crashed
+// shard (nil entries for shards that shut down cleanly).
+type PoolReport = engine.PoolReport
+
+// MaxPoolShards bounds NewPool's shard count.
+const MaxPoolShards = engine.MaxShards
+
+// NewPool creates a pool of shards fresh controllers over fresh (zeroed)
+// devices. cfg.MemBytes must divide evenly by shards; each shard models
+// an independent controller (its own caches, WPQ, PCB and PUB at their
+// configured sizes) over MemBytes/shards of the module.
+func NewPool(cfg Config, shards int) (*Pool, error) { return engine.New(cfg, shards) }
+
+// OpenPool attaches a pool to an existing image — one left by
+// Pool.Shutdown, or by Pool.CrashShards followed by a successful
+// RecoverPool.
+func OpenPool(cfg Config, shards int, img *PoolImage) (*Pool, error) {
+	return engine.Open(cfg, shards, img)
+}
+
+// RecoverPool restores a crashed pool image in place, running the
+// parallel recovery engine over every crashed shard concurrently (clean
+// shards are skipped). Sentinel errors (ErrRootMismatch,
+// ErrNoControlState) surface through the joined error; test with
+// errors.Is.
+func RecoverPool(cfg Config, shards int, img *PoolImage, opts RecoverOpts) (*PoolReport, error) {
+	return engine.RecoverPool(cfg, shards, img, opts)
 }
 
 // Experiments drives the paper's full evaluation (figures 3, 8-12,
