@@ -7,9 +7,9 @@ SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
 TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
 
-.PHONY: ci vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke load-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
 
-ci: vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke bench-alloc bench-json
+ci: vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke load-smoke bench-alloc bench-json
 
 vet:
 	$(GO) vet ./...
@@ -86,6 +86,17 @@ metrics-smoke:
 	$(GO) test ./cmd/thothsim -run 'TestServe|TestRunServe' -count=1
 	$(GO) test ./cmd/tracemetrics -count=1
 
+# Open-loop load generator gate: the statistical property tests (KS on
+# Poisson inter-arrivals, chi-squared on zipf draws), the event-stream
+# and scenario-report goldens, the closed-loop and crash-under-load
+# differentials, the CLI golden, and the acceptance run itself — a
+# 1000-tenant bursty scenario over a 4-shard pool with every histogram
+# percentile checked against the exact trace recomputation.
+load-smoke:
+	$(GO) test ./internal/loadgen -count=1
+	$(GO) test ./cmd/thothsim -run 'TestLoad|TestServeLoad|TestRunServeLoad' -count=1
+	$(GO) run ./cmd/thothsim load -scenario burst -tenants 1000 -shards 4 -check
+
 # Prove the zero-allocation hot paths stay that way: the disabled-tracer
 # emit, the steady-state secure read, histogram Observe, and the
 # tracer-to-metrics adapter must all report 0 allocs/op (the matching
@@ -93,6 +104,7 @@ metrics-smoke:
 bench-alloc:
 	$(GO) test ./internal/core -run 'TestTracerDisabledZeroAlloc|TestReadHitZeroAlloc' -bench 'BenchmarkTracerDisabled|BenchmarkReadHit' -benchtime 10000x
 	$(GO) test ./internal/metrics -run 'TestObserveZeroAlloc|TestFromTracerZeroAlloc' -bench 'BenchmarkHistogramObserve|BenchmarkFromTracer' -benchtime 100000x
+	$(GO) test ./internal/loadgen -run TestGenOpZeroAlloc -bench BenchmarkGenOp -benchtime 100000x
 
 # Benchmark-regression gate: re-measure the suite and compare against
 # the committed baseline (fails on >15% ns/op or ANY allocs/op

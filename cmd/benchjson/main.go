@@ -5,8 +5,9 @@
 //
 //   - micro: the controller hot paths (steady-state secure read and
 //     persist), their dominant primitives (keyed MAC, counter-mode
-//     pad XOR, PUB entry bit-packing), and the observability hot paths
-//     (histogram Observe, the tracer-to-metrics adapter). These carry
+//     pad XOR, PUB entry bit-packing), the observability hot paths
+//     (histogram Observe, the tracer-to-metrics adapter) and the load
+//     generator's per-op tick. These carry
 //     the zero-allocation guarantee: allocs/op is part of the baseline
 //     and ANY increase is a failure.
 //   - figure: one quick-scale end-to-end experiment run per scheme, the
@@ -36,6 +37,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/nvm"
 	"repro/internal/obs"
@@ -177,6 +179,34 @@ func suite() []bench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ad.Emit(ev)
+			}
+		}},
+		{"micro/loadgen_tick", func(b *testing.B) {
+			// One open-loop generator tick: pop the earliest-arrival tenant,
+			// draw the op mix, pick a key, advance the arrival process and
+			// fold the event into the stream hash. The tick must stay
+			// zero-allocation — it runs once per generated op for every
+			// scenario, and an allocating tick would distort the modeled
+			// arrival schedule's wall-clock fidelity at high op counts.
+			scn, err := loadgen.ScenarioByName("steady")
+			if err != nil {
+				b.Fatal(err)
+			}
+			scn.Ops = 0 // no budget; b.N bounds the loop
+			cfg := benchConfig(config.ThothWTSC)
+			ctl, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := loadgen.NewDriver(scn, loadgen.NewControllerTarget(ctl), cfg, nil, loadgen.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var op loadgen.Op
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.GenOp(&op)
 			}
 		}},
 		{"micro/persist_parallel_serial", benchPersistParallel(0)},

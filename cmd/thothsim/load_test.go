@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+)
+
+// loadGoldenRuns is the fixed set of CLI invocations the load golden
+// pins: every matrix scenario through one controller, plus one pooled
+// variant. Each run carries -check, so the golden also proves the
+// histogram percentiles match the exact trace recomputation.
+func loadGoldenRuns() [][]string {
+	base := func(name string) []string {
+		return []string{"load", "-scenario", name, "-tenants", "4", "-ops", "160",
+			"-pub", "64", "-top", "2", "-check"}
+	}
+	runs := [][]string{}
+	for _, name := range loadgen.ScenarioNames() {
+		runs = append(runs, base(name))
+	}
+	runs = append(runs, []string{"load", "-scenario", "steady", "-tenants", "4",
+		"-shards", "2", "-ops", "160", "-pub", "64", "-check"})
+	return runs
+}
+
+// TestLoadGolden pins the `thothsim load` stdout byte-for-byte across
+// the scenario matrix: the arrival processes, key patterns, modeled
+// latencies and the event-stream hash are all seeded, so any drift in
+// generated traffic or measurement diffs here. Regenerate with
+// `go test ./cmd/thothsim -run TestLoadGolden -update`.
+func TestLoadGolden(t *testing.T) {
+	var got bytes.Buffer
+	for _, args := range loadGoldenRuns() {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 0 {
+			t.Fatalf("%v: exit %d, stderr: %s", args, code, errw.String())
+		}
+		got.WriteString("== " + strings.Join(args, " ") + "\n")
+		got.Write(out.Bytes())
+	}
+
+	golden := filepath.Join("testdata", "load_golden.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (-update regenerates): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("load report drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got.Bytes(), want)
+	}
+}
+
+// TestLoadList pins the -list inventory.
+func TestLoadList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"load", "-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, name := range loadgen.ScenarioNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing scenario %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestLoadDuration verifies the -duration horizon: with the op budget
+// lifted, the run must stop at the first arrival past the modeled
+// deadline, not at the scenario's op count.
+func TestLoadDuration(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"load", "-scenario", "steady", "-tenants", "4",
+		"-duration", "0.25", "-pub", "64"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	// 0.25 ms at the default 2 GHz is 500k cycles: far fewer than the
+	// 20000-op scenario budget at an 8000-cycle aggregate gap.
+	if strings.Contains(out.String(), "20000 ops") {
+		t.Fatalf("-duration did not bound the run:\n%s", out.String())
+	}
+}
+
+func TestLoadRejectsBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"load", "-scenario", "nonsense"}, &out, &errw); code != 1 {
+		t.Fatalf("bad scenario: exit %d, want 1", code)
+	}
+	if code := run([]string{"load", "-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"load", "-scheme", "nonsense"}, &out, &errw); code != 1 {
+		t.Fatalf("bad scheme: exit %d, want 1", code)
+	}
+}
+
+// TestServeLoadEndpoints boots the load-backed serve sim and checks the
+// live observability surface: the thoth_loadgen_* families (aggregate
+// and per-tenant latency histograms) are scrapeable mid-run and /statsz
+// carries the open-loop snapshot.
+func TestServeLoadEndpoints(t *testing.T) {
+	sim, err := newLoadServeSim(serveTestConfig(), "steady", 4, 0, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.round(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sim.mux())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if _, err := metrics.ValidateProm(bytes.NewReader(body)); err != nil {
+		t.Fatalf("load scrape failed exposition validation: %v", err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`thoth_loadgen_latency_cycles_bucket{op="write",`,
+		`thoth_loadgen_tenant_latency_cycles_bucket{tenant="0000",`,
+		`thoth_loadgen_tenant_latency_cycles_bucket{tenant="0003",`,
+		`thoth_loadgen_ops_total{op="read"}`,
+		"thoth_loadgen_cycle",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	resp, body = get(t, srv, "/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /statsz: %s", resp.Status)
+	}
+	var got loadStatsz
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("/statsz is not valid JSON: %v\n%s", err, body)
+	}
+	if got.Scenario != "steady" || got.Tenants != 4 || got.Rounds != 1 {
+		t.Errorf("statsz identity = %s/%d tenants/round %d, want steady/4/1",
+			got.Scenario, got.Tenants, got.Rounds)
+	}
+	if got.Ops != 80 || got.Cycle <= 0 {
+		t.Errorf("statsz progress ops=%d cycle=%d, want 80 ops at a positive cycle",
+			got.Ops, got.Cycle)
+	}
+	if got.WriteP50 == "" || got.EventHash == "" {
+		t.Errorf("statsz missing percentiles or hash: %+v", got)
+	}
+}
+
+// TestRunServeLoadCLI drives `thothsim serve -load` end to end,
+// including the pooled variant.
+func TestRunServeLoadCLI(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"serve", "-addr", "127.0.0.1:0", "-load", "hotkey", "-tenants", "4",
+		"-rounds", "2", "-round", "60", "-pub", "64",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, want := range []string{"serving workload=load(hotkey)", "completed 2 rounds"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	errw.Reset()
+	code = run([]string{
+		"serve", "-addr", "127.0.0.1:0", "-load", "steady", "-shards", "2",
+		"-rounds", "1", "-round", "60", "-pub", "64",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("pooled: exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "serving workload=load(steady, 2 shards)") {
+		t.Errorf("pooled banner missing:\n%s", out.String())
+	}
+
+	if code := run([]string{"serve", "-load", "nonsense"}, &out, &errw); code != 1 {
+		t.Fatalf("bad -load scenario: exit %d, want 1", code)
+	}
+}

@@ -18,6 +18,16 @@
 //
 //	thothsim serve -addr 127.0.0.1:8077 -workload btree
 //	curl localhost:8077/metrics
+//
+// The load subcommand replaces the closed-loop harness with an
+// open-loop multi-tenant traffic generator: seeded arrival processes
+// (Poisson, uniform, constant, bursty) issue operations on a modeled
+// schedule independent of completions, so queueing delay is measured
+// and overload appears as tail latency:
+//
+//	thothsim load -list
+//	thothsim load -scenario burst -tenants 1000 -shards 4
+//	thothsim serve -load hotkey   # live per-tenant percentiles
 package main
 
 import (
@@ -37,6 +47,9 @@ import (
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "load" {
+		return runLoad(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("thothsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)

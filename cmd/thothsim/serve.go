@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/scheme"
@@ -227,6 +228,11 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0,
 		"serve a sharded pool at N controllers instead of the workload harness "+
 			"(rounds persist -round seeded random blocks; 0 = single-controller harness)")
+	loadScn := fs.String("load", "",
+		"serve an open-loop load scenario instead of the workload harness "+
+			"("+strings.Join(loadgen.ScenarioNames(), "|")+"; rounds issue -round ops; "+
+			"combine with -shards for a pooled target)")
+	tenants := fs.Int("tenants", 0, "tenant population for -load (0 = the scenario default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -246,10 +252,17 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 
 	var sim roundSim
 	served := *wl
-	if *shards > 0 {
+	switch {
+	case *loadScn != "":
+		served = fmt.Sprintf("load(%s)", *loadScn)
+		if *shards > 0 {
+			served = fmt.Sprintf("load(%s, %d shards)", *loadScn, *shards)
+		}
+		sim, err = newLoadServeSim(cfg, *loadScn, *tenants, *shards, *round)
+	case *shards > 0:
 		served = fmt.Sprintf("pool(%d shards)", *shards)
 		sim, err = newPoolServeSim(cfg, *shards, *round)
-	} else {
+	default:
 		sim, err = newServeSim(cfg, *wl, *setup, *warmup, *round, nil)
 	}
 	if err != nil {

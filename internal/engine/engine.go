@@ -76,6 +76,8 @@ const (
 	opVerify
 	opCrash
 	opShutdown
+	opTimedWrite // opWrite with an arrival cycle and a completion result
+	opTimedRead  // opRead with an arrival cycle and a completion result
 )
 
 // req is one unit of work mailed to a shard worker. The worker fills the
@@ -90,10 +92,13 @@ type req struct {
 
 	batch []core.WriteReq // opBatch: translated, DataBase-rebased requests
 
+	arrival int64 // opTimed*: modeled arrival cycle of the op
+
 	wg *sync.WaitGroup
 
 	// Results.
 	err   error
+	done  int64       // opTimed*: completion cycle of the segment
 	stats stats.Stats // opStats
 	dev   *nvm.Device // opCrash / opShutdown
 }
@@ -554,6 +559,20 @@ func (s *shard) handle(r *req) {
 		s.write(r.addr, r.data)
 	case opRead:
 		s.read(r.addr, r.data)
+	case opTimedWrite:
+		// An idle shard's clock advances to the arrival; a backlogged
+		// shard queues the op behind the work already accepted.
+		if r.arrival > s.now {
+			s.now = r.arrival
+		}
+		s.write(r.addr, r.data)
+		r.done = s.now
+	case opTimedRead:
+		if r.arrival > s.now {
+			s.now = r.arrival
+		}
+		s.read(r.addr, r.data)
+		r.done = s.now
 	case opBatch:
 		s.now = s.ctl.PersistBatch(s.now, r.batch)
 		if s.mBlocks != nil {

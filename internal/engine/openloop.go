@@ -1,0 +1,71 @@
+package engine
+
+// The open-loop request path: WriteArrive and ReadArrive are Write and
+// Read with a modeled arrival cycle attached. A shard whose clock is
+// behind an op's arrival was idle when the op arrived, so its clock
+// jumps forward to the arrival before servicing; a shard whose clock is
+// ahead is backlogged, and the op queues behind the work in front of it.
+// The returned completion cycle therefore embeds the open-loop latency
+// (completion − arrival = queueing delay + service), which is what
+// internal/loadgen feeds into the metrics histograms. Requests spanning
+// multiple metadata groups complete when their last segment does.
+
+import "fmt"
+
+// WriteArrive persists data at the given pool offset, modeling the op as
+// arriving at the given cycle. It returns the op's completion cycle: the
+// latest completion across its shard segments, each serviced no earlier
+// than the arrival and no earlier than the shard's prior backlog.
+func (p *Pool) WriteArrive(arrival, addr int64, data []byte) (int64, error) {
+	if arrival < 0 {
+		return 0, fmt.Errorf("engine: negative arrival cycle %d", arrival)
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if err := p.checkRange(addr, len(data)); err != nil {
+		return 0, err
+	}
+	var rs []*req
+	p.segment(addr, len(data), func(sh int, local, off, length int64) {
+		rs = append(rs, &req{kind: opTimedWrite, shard: sh, arrival: arrival,
+			addr: local, data: data[off : off+length]})
+	})
+	if err := p.dispatch(rs); err != nil {
+		return 0, err
+	}
+	return maxDone(rs), nil
+}
+
+// ReadArrive fills dst from the given pool offset, modeling the op as
+// arriving at the given cycle; see WriteArrive for the completion
+// semantics.
+func (p *Pool) ReadArrive(arrival, addr int64, dst []byte) (int64, error) {
+	if arrival < 0 {
+		return 0, fmt.Errorf("engine: negative arrival cycle %d", arrival)
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if err := p.checkRange(addr, len(dst)); err != nil {
+		return 0, err
+	}
+	var rs []*req
+	p.segment(addr, len(dst), func(sh int, local, off, length int64) {
+		rs = append(rs, &req{kind: opTimedRead, shard: sh, arrival: arrival,
+			addr: local, data: dst[off : off+length]})
+	})
+	if err := p.dispatch(rs); err != nil {
+		return 0, err
+	}
+	return maxDone(rs), nil
+}
+
+// maxDone returns the latest segment completion of a dispatched set.
+func maxDone(rs []*req) int64 {
+	var done int64
+	for _, r := range rs {
+		if r.done > done {
+			done = r.done
+		}
+	}
+	return done
+}

@@ -843,7 +843,7 @@ func (e *Experiments) All() error {
 		{"fig11", e.Fig11}, {"fig12", e.Fig12}, {"secVF", e.SecVF},
 		{"recovery", e.Recovery}, {"eadr", e.EADRAblation},
 		{"pubsize", e.PUBSize}, {"arrangement", e.Arrangement},
-		{"schemes", e.Schemes},
+		{"schemes", e.Schemes}, {"scenarios", e.Scenarios},
 	}
 	for _, s := range steps {
 		if err := s.fn(); err != nil {
@@ -861,7 +861,8 @@ func (e *Experiments) ByName(name string) error {
 		"11": e.Fig11, "12": e.Fig12, "vf": e.SecVF, "recovery": e.Recovery,
 		"eadr": e.EADRAblation, "pubsize": e.PUBSize,
 		"arrangement": e.Arrangement, "schemes": e.Schemes,
-		"all": e.All,
+		"scenarios": e.Scenarios,
+		"all":       e.All,
 	}
 	fn, ok := m[name]
 	if !ok {

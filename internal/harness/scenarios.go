@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+)
+
+// scenarioTenants is the simulated client population of the open-loop
+// experiment. Small enough that each tenant completes a statistically
+// useful share of the budget even at smoke scale, large enough that the
+// multiplexed schedule interleaves for real.
+const scenarioTenants = 16
+
+// scenarioQuant renders a histogram quantile for the report.
+func scenarioQuant(v float64) string {
+	return fmt.Sprintf("%.0f", v)
+}
+
+// Scenarios publishes the open-loop scenario matrix: every named
+// loadgen scenario (steady Poisson, Markov-modulated bursts, zipfian
+// hot keys, sequential scans, metadata-group thrash) runs over a fresh
+// Thoth controller, and the report compares open-loop latency
+// percentiles (queueing + service, modeled cycles, from the
+// internal/metrics histograms) alongside the back-pressure counters the
+// arrival shape stresses: WPQ stall cycles and PUB evictions. Unlike
+// the closed-loop figures, offered load here is independent of
+// completions, so a scheme that falls behind shows up as tail latency
+// rather than as silently reduced throughput.
+//
+// Everything derives from the scenario seeds and the suite scale, so
+// the report is byte-deterministic (the golden test pins it).
+func (e *Experiments) Scenarios() error {
+	ops := 4 * int64(e.Scale.MeasureTxs)
+
+	fmt.Fprintf(e.Out, "\nOpen-loop scenarios: multi-tenant traffic matrix (WTSC, %d tenants, %d ops)\n",
+		scenarioTenants, ops)
+	fmt.Fprintf(e.Out, "%-8s %-9s %-11s %5s %9s %9s %9s %9s %9s %12s %9s\n",
+		"scenario", "arrival", "keys", "rd%", "wr-p50", "wr-p95", "wr-p99", "rd-p99",
+		"worst-p99", "wpq-stall", "pub-evict")
+	for _, scn := range loadgen.Scenarios() {
+		scn.Tenants = scenarioTenants
+		scn.Ops = ops
+		cfg := e.Scale.apply(config.Default().WithScheme(config.ThothWTSC))
+		ctl, err := core.New(cfg)
+		if err != nil {
+			return fmt.Errorf("scenarios(%s): %w", scn.Name, err)
+		}
+		tgt := loadgen.NewControllerTarget(ctl)
+		d, err := loadgen.NewDriver(scn, tgt, cfg, nil, loadgen.Options{RecordLatencies: true})
+		if err != nil {
+			return fmt.Errorf("scenarios(%s): %w", scn.Name, err)
+		}
+		if err := d.Run(); err != nil {
+			return fmt.Errorf("scenarios(%s): %w", scn.Name, err)
+		}
+		// The histograms must agree with an exact recomputation from the
+		// raw latency stream — a violation is an error, not a report row.
+		if err := d.CheckQuantiles(); err != nil {
+			return fmt.Errorf("scenarios(%s): %w", scn.Name, err)
+		}
+		sum := d.Summary()
+		st := tgt.Stats()
+		fmt.Fprintf(e.Out, "%-8s %-9s %-11s %5d %9s %9s %9s %9s %9s %12d %9d\n",
+			scn.Name, scn.Arrival.Kind, scn.Keys.Kind, scn.ReadPercent,
+			scenarioQuant(sum.WriteP50), scenarioQuant(sum.WriteP95), scenarioQuant(sum.WriteP99),
+			scenarioQuant(sum.ReadP99), scenarioQuant(sum.WorstP99),
+			st.WPQStallCycles, st.PUBEvictions)
+	}
+	fmt.Fprintf(e.Out, "(open loop: arrivals are independent of completions, so overload appears as tail latency)\n")
+	return nil
+}

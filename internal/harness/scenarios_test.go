@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScenariosGolden pins the open-loop scenario report byte-for-byte
+// at test scale: arrival processes, key patterns and the latency
+// pipeline are all seeded, so any drift in generated traffic or
+// measured percentiles diffs against the committed golden. Regenerate
+// with SCENARIOS_UPDATE=1.
+func TestScenariosGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 5 open-loop simulations")
+	}
+	var out syncWriter
+	e := NewExperiments(tinyScale(), &out)
+	e.Workers = 1
+	if err := e.Scenarios(); err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	got := out.String()
+
+	golden := filepath.Join("testdata", "scenarios_golden.txt")
+	if os.Getenv("SCENARIOS_UPDATE") == "1" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (SCENARIOS_UPDATE=1 regenerates): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("scenario report drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestScenariosReportShape spot-checks the report semantics independent
+// of the golden bytes: every matrix scenario appears with its arrival
+// and key patterns.
+func TestScenariosReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 5 open-loop simulations")
+	}
+	var out syncWriter
+	e := NewExperiments(tinyScale(), &out)
+	e.Workers = 1
+	if err := e.Scenarios(); err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	rep := out.String()
+	for _, want := range []string{
+		"Open-loop scenarios", "steady", "burst", "hotkey", "scan", "thrash",
+		"poisson", "bursty", "constant", "zipfian", "sequential", "strided",
+		"wpq-stall", "pub-evict",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

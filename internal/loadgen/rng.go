@@ -1,0 +1,59 @@
+package loadgen
+
+import "math"
+
+// rng is a splitmix64 pseudo-random generator, written out by hand
+// (rather than using math/rand) so the byte stream — and therefore every
+// generated event stream — is stable across Go releases. A scenario seed
+// printed in a report years from now must still reproduce the same
+// traffic. Same construction as the crashfuzz and pool drivers.
+type rng struct{ state uint64 }
+
+// newRNG seeds a generator. Distinct seeds give independent streams.
+func newRNG(seed int64) rng {
+	return rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+}
+
+// Uint64 returns the next value of the splitmix64 sequence.
+func (r *rng) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *rng) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a value in [0, n). n must be positive.
+func (r *rng) Int63n(n int64) int64 {
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in the open interval (0, 1): never 0, so it is
+// safe to feed straight into a logarithm, and never 1, so inverse-CDF
+// lookups stay inside the table.
+func (r *rng) Float64() float64 {
+	return (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+}
+
+// maxGap bounds one exponential draw so a pathological tail sample
+// cannot jump the modeled clock centuries ahead (2^40 cycles ≈ 4.6
+// minutes at 4 GHz — far beyond any simulated interval, still finite).
+const maxGap = int64(1) << 40
+
+// ExpInt draws an exponentially distributed gap with the given mean,
+// rounded to whole cycles (inverse-CDF: -mean * ln(U)).
+func (r *rng) ExpInt(mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	g := -mean * math.Log(r.Float64())
+	if g >= float64(maxGap) {
+		return maxGap
+	}
+	return int64(g + 0.5)
+}

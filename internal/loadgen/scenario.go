@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scenario declares one open-loop traffic mix: an arrival process, a
+// key-space pattern, a read/write tier, and a tenant population, all
+// derived deterministically from Seed. The named matrix (Scenarios)
+// covers the canonical shapes; CLI flags override the population and
+// budget fields of a named entry.
+type Scenario struct {
+	Name string
+	Desc string
+
+	Arrival ArrivalSpec
+	Keys    KeySpec
+
+	// ReadPercent of operations are reads (the rest are single-block
+	// persists).
+	ReadPercent int
+
+	// Tenants is the simulated client population. Each tenant owns a
+	// disjoint contiguous partition of the data region and runs a private
+	// seeded arrival process and key chooser.
+	Tenants int
+
+	// Ops bounds the total operations issued across all tenants.
+	Ops int64
+
+	// DurationCycles, when positive, additionally stops the run at the
+	// first arrival past this modeled cycle.
+	DurationCycles int64
+
+	Seed int64
+}
+
+// validate rejects unusable scenarios.
+func (s Scenario) validate() error {
+	if s.Tenants < 1 {
+		return fmt.Errorf("loadgen: scenario %q needs at least one tenant, got %d", s.Name, s.Tenants)
+	}
+	if s.Ops < 0 || s.DurationCycles < 0 {
+		return fmt.Errorf("loadgen: scenario %q has a negative budget", s.Name)
+	}
+	if s.ReadPercent < 0 || s.ReadPercent > 100 {
+		return fmt.Errorf("loadgen: scenario %q read percent %d not in [0,100]", s.Name, s.ReadPercent)
+	}
+	if err := s.Arrival.validate(); err != nil {
+		return err
+	}
+	return s.Keys.validate()
+}
+
+// Scenarios returns the named scenario matrix. Arrival means are
+// aggregate (population-wide) inter-arrival gaps in cycles, chosen
+// against the controller's single-block persist service time (roughly a
+// thousand cycles under the default machine) so the matrix spans
+// comfortable, near-saturation and collapse regimes.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "steady",
+			Desc:        "Poisson arrivals, uniform keys, balanced mix — the comfortable baseline",
+			Arrival:     ArrivalSpec{Kind: ArrivePoisson, MeanCycles: 8000},
+			Keys:        KeySpec{Kind: KeysUniform},
+			ReadPercent: 50,
+			Tenants:     64,
+			Ops:         20000,
+			Seed:        1,
+		},
+		{
+			Name: "burst",
+			Desc: "Markov-modulated on/off bursts, write-heavy — WPQ/PUB pressure under collapse",
+			Arrival: ArrivalSpec{Kind: ArriveBursty, MeanCycles: 4000,
+				OnCycles: 200_000, OffCycles: 400_000},
+			Keys:        KeySpec{Kind: KeysUniform},
+			ReadPercent: 20,
+			Tenants:     64,
+			Ops:         20000,
+			Seed:        1,
+		},
+		{
+			Name:        "hotkey",
+			Desc:        "Poisson arrivals onto zipfian hot keys — metadata sharing and PCB merging",
+			Arrival:     ArrivalSpec{Kind: ArrivePoisson, MeanCycles: 4000},
+			Keys:        KeySpec{Kind: KeysZipfian, ZipfS: 1.2},
+			ReadPercent: 30,
+			Tenants:     64,
+			Ops:         20000,
+			Seed:        1,
+		},
+		{
+			Name:        "scan",
+			Desc:        "constant-paced sequential scans, write streams — best-case locality",
+			Arrival:     ArrivalSpec{Kind: ArriveConstant, MeanCycles: 9000},
+			Keys:        KeySpec{Kind: KeysSequential},
+			ReadPercent: 10,
+			Tenants:     64,
+			Ops:         20000,
+			Seed:        1,
+		},
+		{
+			Name:        "thrash",
+			Desc:        "uniform-jitter arrivals striding metadata groups — adversarial cache thrash",
+			Arrival:     ArrivalSpec{Kind: ArriveUniform, MeanCycles: 5000},
+			Keys:        KeySpec{Kind: KeysStrided},
+			ReadPercent: 25,
+			Tenants:     64,
+			Ops:         20000,
+			Seed:        1,
+		},
+	}
+}
+
+// ScenarioNames lists the matrix in order.
+func ScenarioNames() []string {
+	scns := Scenarios()
+	names := make([]string, len(scns))
+	for i, s := range scns {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ScenarioByName returns the named matrix entry.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	sorted := ScenarioNames()
+	sort.Strings(sorted)
+	return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (have %s)",
+		name, strings.Join(sorted, "|"))
+}

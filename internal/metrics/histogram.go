@@ -30,9 +30,9 @@ type Histogram struct {
 	buckets [NumFiniteBuckets + 1]atomic.Int64 // [NumFiniteBuckets] is +Inf
 }
 
-// bucketIndex maps an observation to its bucket: 0 for v <= 1, i for
+// BucketIndex maps an observation to its bucket: 0 for v <= 1, i for
 // v in (2^(i-1), 2^i], NumFiniteBuckets for the overflow bucket.
-func bucketIndex(v int64) int {
+func BucketIndex(v int64) int {
 	if v <= 1 {
 		return 0
 	}
@@ -55,7 +55,7 @@ func BucketUpperBound(i int) float64 {
 
 // Observe records one observation. It never allocates.
 func (h *Histogram) Observe(v int64) {
-	h.buckets[bucketIndex(v)].Add(1)
+	h.buckets[BucketIndex(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
 }
@@ -86,9 +86,19 @@ func (h *Histogram) Snapshot() (buckets [NumFiniteBuckets + 1]int64, count, sum 
 // upper bound within a factor of 2 of the true value (and exact for
 // values <= 1). Returns 0 for an empty histogram and +Inf when the
 // quantile falls in the overflow bucket.
+//
+// The rank is computed against the snapshot's own bucket sum, not the
+// separately-loaded count: an Observe racing the snapshot could land in
+// count but not yet in its bucket, and a rank drawn from that larger
+// count would walk off the end of the buckets and report a spurious
+// +Inf for a scrape taken mid-flight.
 func (h *Histogram) Quantile(q float64) float64 {
-	buckets, count, _ := h.Snapshot()
-	if count == 0 {
+	buckets, _, _ := h.Snapshot()
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -97,7 +107,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	need := int64(math.Ceil(q * float64(count)))
+	need := int64(math.Ceil(q * float64(total)))
 	if need < 1 {
 		need = 1
 	}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -31,19 +32,19 @@ func TestBucketBoundaries(t *testing.T) {
 		{math.MaxInt64, NumFiniteBuckets},
 	}
 	for _, c := range cases {
-		if got := bucketIndex(c.v); got != c.want {
-			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
 		}
 	}
 	// Exhaustively: every power of two is in its own bucket, one below
 	// shares it, one above moves up.
 	for i := 1; i <= maxFiniteExp; i++ {
 		p := int64(1) << uint(i)
-		if got := bucketIndex(p); got != i {
-			t.Errorf("bucketIndex(2^%d) = %d, want %d", i, got, i)
+		if got := BucketIndex(p); got != i {
+			t.Errorf("BucketIndex(2^%d) = %d, want %d", i, got, i)
 		}
-		if got := bucketIndex(p + 1); i < maxFiniteExp && got != i+1 {
-			t.Errorf("bucketIndex(2^%d+1) = %d, want %d", i, got, i+1)
+		if got := BucketIndex(p + 1); i < maxFiniteExp && got != i+1 {
+			t.Errorf("BucketIndex(2^%d+1) = %d, want %d", i, got, i+1)
 		}
 	}
 }
@@ -64,7 +65,7 @@ func TestBucketUpperBound(t *testing.T) {
 	// Upper bound must be consistent with bucketIndex: every value
 	// observes into a bucket whose upper bound is >= the value.
 	for _, v := range []int64{1, 2, 3, 100, 4096, 1 << 40} {
-		if ub := BucketUpperBound(bucketIndex(v)); float64(v) > ub {
+		if ub := BucketUpperBound(BucketIndex(v)); float64(v) > ub {
 			t.Errorf("value %d above its bucket bound %v", v, ub)
 		}
 	}
@@ -114,7 +115,7 @@ func TestQuantileErrorBound(t *testing.T) {
 		true int64
 	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000}} {
 		got := h.Quantile(c.q)
-		wantBucket := bucketIndex(c.true)
+		wantBucket := BucketIndex(c.true)
 		// Within one bucket: the estimate must be the true bucket's
 		// upper bound — never below the true value, never more than one
 		// bucket (2x its bound) above.
@@ -138,10 +139,10 @@ func TestQuantileEdges(t *testing.T) {
 	}
 	var h2 Histogram
 	h2.Observe(7)
-	if got := h2.Quantile(-1); got != BucketUpperBound(bucketIndex(7)) {
+	if got := h2.Quantile(-1); got != BucketUpperBound(BucketIndex(7)) {
 		t.Errorf("clamped q<0 Quantile = %v", got)
 	}
-	if got := h2.Quantile(2); got != BucketUpperBound(bucketIndex(7)) {
+	if got := h2.Quantile(2); got != BucketUpperBound(BucketIndex(7)) {
 		t.Errorf("clamped q>1 Quantile = %v", got)
 	}
 }
@@ -176,4 +177,45 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Observe(int64(i))
 	}
+}
+
+// TestQuantileConcurrentScrape hammers one histogram from 8 observer
+// goroutines while a scraper reads P99, pinning the fix for the
+// mid-flight scrape race: Quantile's rank is computed from the
+// snapshot's own bucket sum, so an Observe that has bumped count but
+// not yet its bucket can no longer push the rank past the end of the
+// snapshot and surface a spurious +Inf. All observations here are
+// finite (<= 4096), so every scraped P99 must be finite and >= 1.
+// Run under -race in CI.
+func TestQuantileConcurrentScrape(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(v%4096 + 1)
+					v++
+				}
+			}
+		}(int64(g) * 517)
+	}
+	h.Observe(1) // never empty: every scrape sees data
+	for i := 0; i < 5000; i++ {
+		q := h.Quantile(0.99)
+		if math.IsInf(q, 1) {
+			t.Fatalf("scrape %d: spurious +Inf P99 from finite observations", i)
+		}
+		if q < 1 {
+			t.Fatalf("scrape %d: P99 = %v below smallest bucket bound", i, q)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
