@@ -6,10 +6,11 @@ GO ?= go
 SWEEP_SEEDS ?= 200
 FUZZTIME ?= 10s
 TRACE_FILE ?= /tmp/thoth-trace-smoke.jsonl
+FLIGHT_DIR ?= /tmp/thoth-flight-smoke
 
-.PHONY: ci vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke load-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
+.PHONY: ci vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke load-smoke obs-smoke bench-alloc bench-json fuzz-smoke fuzz-parallel-smoke fuzz-persist-smoke sweep-1000
 
-ci: vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke load-smoke bench-alloc bench-json
+ci: vet build test race crashfuzz scheme-diff parallel-diff persist-diff pool-diff trace-smoke metrics-smoke load-smoke obs-smoke bench-alloc bench-json
 
 vet:
 	$(GO) vet ./...
@@ -97,14 +98,31 @@ load-smoke:
 	$(GO) test ./cmd/thothsim -run 'TestLoad|TestServeLoad|TestRunServeLoad' -count=1
 	$(GO) run ./cmd/thothsim load -scenario burst -tenants 1000 -shards 4 -check
 
+# Tail-latency anatomy gate: the per-op attribution conservation sweep
+# (200 seeded machines, controller and pool, stage cycles must sum to
+# each op's latency), the flight-recorder suite (always-on, race-hammered,
+# JSONL round-trip, FromTracer replay), the /timeseries golden, and an
+# end-to-end crash whose flight dump must validate under tracecheck.
+obs-smoke:
+	$(GO) test ./internal/obs -count=1
+	$(GO) test ./internal/core -run TestFlight -count=1
+	$(GO) test ./internal/loadgen -run TestAttribution -count=1
+	$(GO) test ./cmd/thothsim -run TestServeTimeseriesGolden -count=1
+	rm -rf $(FLIGHT_DIR)
+	$(GO) run ./cmd/thothsim -workload btree -warmup 200 -txs 600 -setup 1024 -pub 256 -crash -flight $(FLIGHT_DIR)
+	$(GO) run ./cmd/tracecheck $(FLIGHT_DIR)/flight.jsonl
+
 # Prove the zero-allocation hot paths stay that way: the disabled-tracer
-# emit, the steady-state secure read, histogram Observe, and the
-# tracer-to-metrics adapter must all report 0 allocs/op (the matching
-# Test*ZeroAlloc funcs assert the 0; the benchmarks report it).
+# emit, the steady-state secure read, histogram Observe, the
+# tracer-to-metrics adapter, the span-attribution charge path (enabled
+# AND nil-span disabled) and the flight recorder's Emit must all report
+# 0 allocs/op (the matching Test*ZeroAlloc funcs assert the 0; the
+# benchmarks report it).
 bench-alloc:
 	$(GO) test ./internal/core -run 'TestTracerDisabledZeroAlloc|TestReadHitZeroAlloc' -bench 'BenchmarkTracerDisabled|BenchmarkReadHit' -benchtime 10000x
 	$(GO) test ./internal/metrics -run 'TestObserveZeroAlloc|TestFromTracerZeroAlloc' -bench 'BenchmarkHistogramObserve|BenchmarkFromTracer' -benchtime 100000x
 	$(GO) test ./internal/loadgen -run TestGenOpZeroAlloc -bench BenchmarkGenOp -benchtime 100000x
+	$(GO) test ./internal/obs -run 'TestSpanRecordZeroAlloc|TestSpanDisabledZeroAlloc|TestFlightEmitZeroAlloc' -bench BenchmarkSpanRecord -benchtime 100000x
 
 # Benchmark-regression gate: re-measure the suite and compare against
 # the committed baseline (fails on >15% ns/op or ANY allocs/op

@@ -181,6 +181,29 @@ func suite() []bench {
 				ad.Emit(ev)
 			}
 		}},
+		{"micro/span_record", func(b *testing.B) {
+			// One op's worth of latency attribution: reset the span, charge
+			// the queue wait, then walk a cursor through the write path's
+			// stage boundaries. This runs per op on every attributed read
+			// and write, so it must stay zero-allocation.
+			var sp obs.Span
+			var sink int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.Reset()
+				sp.Add(obs.SpanQueue, 40)
+				start := int64(i)
+				cur := obs.NewCursor(&sp, start)
+				cur.Charge(obs.SpanFetch, start+120)
+				cur.Charge(obs.SpanCrypto, start+160)
+				cur.Charge(obs.SpanTree, start+250)
+				cur.Charge(obs.SpanWPQ, start+280)
+				cur.Charge(obs.SpanPersist, start+300)
+				sink = sp.Total()
+			}
+			_ = sink
+		}},
 		{"micro/loadgen_tick", func(b *testing.B) {
 			// One open-loop generator tick: pop the earliest-arrival tenant,
 			// draw the op mix, pick a key, advance the arrival process and

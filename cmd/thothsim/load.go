@@ -102,6 +102,12 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 	check := fs.Bool("check", false,
 		"record the raw latency stream and verify every histogram percentile "+
 			"against an exact recomputation (within one log2 bucket)")
+	attr := fs.Bool("attr", false,
+		"decompose every op's latency into pipeline-stage cycles "+
+			"(queue/fetch/crypto/tree/wpq/persist) and print the attribution report; "+
+			"conservation — stages summing exactly to the latency — is enforced per op")
+	progress := fs.Float64("progress", 0,
+		"print a top-style gauge summary to stderr every this many wall seconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -145,13 +151,16 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	reg := metrics.New()
+	cfg.Metrics = reg
 	lt, err := newLoadTarget(cfg, *shards)
 	if err != nil {
 		fmt.Fprintln(stderr, "thothsim load:", err)
 		return 1
 	}
-	d, err := loadgen.NewDriver(scn, lt.tgt, cfg, nil, loadgen.Options{
+	d, err := loadgen.NewDriver(scn, lt.tgt, cfg, reg, loadgen.Options{
 		RecordLatencies: *check,
+		Attribution:     *attr,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "thothsim load:", err)
@@ -166,13 +175,21 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		scn.Name, sch, *block, scn.Tenants, nShards, scn.Seed)
 
 	start := time.Now()
-	if err := d.Run(); err != nil {
+	if err := runLoadLoop(d, reg, *progress, stderr); err != nil {
 		fmt.Fprintln(stderr, "thothsim load:", err)
 		return 1
 	}
 	fmt.Fprintf(stderr, "wall %v\n", time.Since(start).Round(time.Millisecond))
 
 	fmt.Fprint(stdout, d.Summary().String())
+	if *attr {
+		a, err := d.Attribution()
+		if err != nil {
+			fmt.Fprintln(stderr, "thothsim load:", err)
+			return 1
+		}
+		printAttribution(stdout, a, *top)
+	}
 	if *top > 0 {
 		ts := d.TenantSummaries()
 		if len(ts) > *top {
@@ -207,6 +224,88 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runLoadLoop drives the scenario to completion. With progressSec > 0
+// it runs in chunks and prints a top-style one-line summary to stderr
+// every progressSec wall seconds: completed ops, the modeled cycle,
+// live tail percentiles and the queue gauges (WPQ/PUB occupancy,
+// summed shard mailbox depth) sampled from the shared registry. stdout
+// is untouched — the golden-tested report stays reproducible.
+func runLoadLoop(d *loadgen.Driver, reg *metrics.Registry, progressSec float64, stderr io.Writer) error {
+	if progressSec <= 0 {
+		return d.Run()
+	}
+	const chunk = 4096
+	interval := time.Duration(progressSec * float64(time.Second))
+	sampler := metrics.NewSampler(reg, 1, 0, nil)
+	last := time.Now()
+	for {
+		n, err := d.RunOps(chunk)
+		if err != nil {
+			return err
+		}
+		if now := time.Now(); now.Sub(last) >= interval || n < chunk {
+			last = now
+			sampler.Tick(d.MaxCycle())
+			printLoadProgress(stderr, d, sampler)
+		}
+		if n < chunk {
+			return nil
+		}
+	}
+}
+
+// printLoadProgress renders one progress line from the driver summary
+// and the latest gauge sample.
+func printLoadProgress(w io.Writer, d *loadgen.Driver, sampler *metrics.Sampler) {
+	sum := d.Summary()
+	fmt.Fprintf(w, "progress: ops=%d cycle=%d write p99=%s read p99=%s",
+		sum.Ops, sum.Cycles, loadQuant(sum.WriteP99), loadQuant(sum.ReadP99))
+	if last, ok := sampler.Last(); ok {
+		gaugeSum := func(prefix string) (int64, bool) {
+			var s int64
+			found := false
+			for k, v := range last.Values {
+				if strings.HasPrefix(k, prefix) {
+					s += v
+					found = true
+				}
+			}
+			return s, found
+		}
+		for _, g := range []struct{ label, prefix string }{
+			{"wpq", "thoth_wpq_occupancy"},
+			{"pub", "thoth_pub_occupancy_blocks"},
+			{"mail", "thoth_pool_shard_mailbox_depth"},
+			{"spec-miss", "thoth_spec_misses"},
+		} {
+			if v, ok := gaugeSum(g.prefix); ok {
+				fmt.Fprintf(w, " %s=%d", g.label, v)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// printAttribution renders the attribution report: the aggregate stage
+// breakdown always, plus per-tenant rows — the -top count when set,
+// otherwise up to eight — with a truncation note for the rest.
+func printAttribution(w io.Writer, a loadgen.Attribution, top int) {
+	limit := top
+	if limit <= 0 {
+		limit = 8
+	}
+	shown := a.Tenants
+	if len(shown) > limit {
+		shown = shown[:limit]
+	}
+	trimmed := a
+	trimmed.Tenants = shown
+	fmt.Fprint(w, trimmed.String())
+	if rest := len(a.Tenants) - len(shown); rest > 0 {
+		fmt.Fprintf(w, "  (… %d more tenants; raise -top to widen)\n", rest)
+	}
+}
+
 // loadServeSim is the load-generator-backed serving simulation behind
 // `thothsim serve -load <scenario>`: rounds issue a fixed number of
 // open-loop ops while the HTTP handlers read the shared registry — the
@@ -220,6 +319,7 @@ type loadServeSim struct {
 	info     scheme.Info
 	shards   int
 	roundOps int
+	sampler  *metrics.Sampler
 
 	mu     sync.Mutex
 	sum    loadgen.Summary
@@ -230,7 +330,7 @@ type loadServeSim struct {
 // -shards N) with the serve registry attached; the scenario's op and
 // duration budgets are lifted — serve mode runs rounds until
 // interrupted.
-func newLoadServeSim(cfg config.Config, scenario string, tenants, shards, roundOps int) (*loadServeSim, error) {
+func newLoadServeSim(cfg config.Config, scenario string, tenants, shards, roundOps int, sampleEvery int64) (*loadServeSim, error) {
 	if roundOps <= 0 {
 		return nil, fmt.Errorf("serve: round size %d must be positive", roundOps)
 	}
@@ -249,7 +349,11 @@ func newLoadServeSim(cfg config.Config, scenario string, tenants, shards, roundO
 	if err != nil {
 		return nil, err
 	}
-	d, err := loadgen.NewDriver(scn, lt.tgt, cfg, reg, loadgen.Options{})
+	// Attribution is always on in serve mode: both load targets support
+	// spans, the per-op cost is an allocation-free cursor walk, and it
+	// puts the thoth_op_stage_cycles{stage=...} histograms on /metrics
+	// so the stage mix is scrapeable live.
+	d, err := loadgen.NewDriver(scn, lt.tgt, cfg, reg, loadgen.Options{Attribution: true})
 	if err != nil {
 		return nil, err
 	}
@@ -263,6 +367,7 @@ func newLoadServeSim(cfg config.Config, scenario string, tenants, shards, roundO
 		info:     lt.info,
 		shards:   nShards,
 		roundOps: roundOps,
+		sampler:  metrics.NewSampler(reg, sampleEvery, 0, nil),
 	}
 	s.publish()
 	return s, nil
@@ -283,6 +388,7 @@ func (s *loadServeSim) publish() {
 	s.sum = sum
 	s.rounds++
 	s.mu.Unlock()
+	s.sampler.Tick(sum.Cycles)
 }
 
 func (s *loadServeSim) schemeInfo() scheme.Info { return s.info }
@@ -294,7 +400,7 @@ func (s *loadServeSim) now() int64 {
 }
 
 func (s *loadServeSim) mux() *http.ServeMux {
-	return buildServeMux(s.reg, func() any { return s.statsz() })
+	return buildServeMux(s.reg, func() any { return s.statsz() }, s.sampler)
 }
 
 // loadStatsz is the JSON document served at /statsz in load mode. The

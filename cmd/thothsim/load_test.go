@@ -116,7 +116,7 @@ func TestLoadRejectsBadFlags(t *testing.T) {
 // and per-tenant latency histograms) are scrapeable mid-run and /statsz
 // carries the open-loop snapshot.
 func TestServeLoadEndpoints(t *testing.T) {
-	sim, err := newLoadServeSim(serveTestConfig(), "steady", 4, 0, 80)
+	sim, err := newLoadServeSim(serveTestConfig(), "steady", 4, 0, 80, serveSampleCycles)
 	if err != nil {
 		t.Fatal(err)
 	}

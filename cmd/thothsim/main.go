@@ -77,6 +77,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eadr := fs.Bool("eadr", false, "enhanced ADR: persistent cache hierarchy (extension)")
 	traceFile := fs.String("trace", "", "write a controller event trace to this file")
 	traceFormat := fs.String("trace-format", "jsonl", "trace format: jsonl|chrome")
+	flightDir := fs.String("flight", "",
+		"with -crash, dump the flight recorder (the always-on ring of recent "+
+			"controller events) to JSONL files in this directory alongside the crash image")
 	shards := fs.Int("shards", 0,
 		"run the sharded pool throughput mode at N controllers instead of the workload "+
 			"harness (-txs seeded random block persists in batches of -persist-batch; "+
@@ -135,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *shards > 0 {
 		return runPoolBench(cfg, *shards, *txs, *persistBatch, *crash, *verify,
-			*recoveryWorkers, stdout, stderr)
+			*recoveryWorkers, *flightDir, stdout, stderr)
 	}
 
 	res, err := harness.Run(harness.RunConfig{
@@ -164,6 +167,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := res.Runner.Controller().Crash(res.Runner.Now()); err != nil {
 			fmt.Fprintln(stderr, "thothsim: crash flush:", err)
 			return 1
+		}
+		if *flightDir != "" {
+			rec := res.Runner.Controller().FlightRecord()
+			if err := dumpFlight(*flightDir, "flight.jsonl", rec, stdout); err != nil {
+				fmt.Fprintln(stderr, "thothsim: flight dump:", err)
+				return 1
+			}
 		}
 		var rep *recovery.Report
 		if *recoveryWorkers > 0 {

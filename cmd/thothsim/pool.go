@@ -12,6 +12,8 @@ package main
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -21,6 +23,29 @@ import (
 	"repro/internal/scheme"
 	"repro/internal/stats"
 )
+
+// dumpFlight writes one flight-recorder snapshot as a JSONL trace file
+// under dir (created if missing) — the schema cmd/tracecheck validates.
+func dumpFlight(dir, name string, rec thoth.FlightRecord, stdout io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "flight recorder: %d events (%d dropped of %d total) -> %s\n",
+		len(rec.Events), rec.Dropped, rec.Count, path)
+	return nil
+}
 
 // poolRNG is a splitmix64 generator: the pool drivers are seeded and
 // deterministic so two runs at the same flags issue identical traffic.
@@ -73,7 +98,7 @@ func poolCrashSubset(shards int) []bool {
 // wall-clock ops/sec and the pooled stats, and with -crash take down
 // the even-indexed shards, recover them in parallel, reopen, and verify
 // every written block against the driver's golden map.
-func runPoolBench(cfg config.Config, shards, blocks, depth int, crash, verify bool, recWorkers int, stdout, stderr io.Writer) int {
+func runPoolBench(cfg config.Config, shards, blocks, depth int, crash, verify bool, recWorkers int, flightDir string, stdout, stderr io.Writer) int {
 	if depth <= 0 {
 		depth = 64
 	}
@@ -142,6 +167,18 @@ func runPoolBench(cfg config.Config, shards, blocks, depth int, crash, verify bo
 		return 1
 	}
 	fmt.Fprintf(stdout, "crashed shards %v\n", mask)
+	if flightDir != "" {
+		for i, crashed := range mask {
+			if !crashed {
+				continue
+			}
+			name := fmt.Sprintf("flight-shard%d.jsonl", i)
+			if err := dumpFlight(flightDir, name, img.Flights[i], stdout); err != nil {
+				fmt.Fprintln(stderr, "thothsim: flight dump:", err)
+				return 1
+			}
+		}
+	}
 	rep, err := thoth.RecoverPool(cfg, shards, img, thoth.RecoverOpts{Workers: recWorkers})
 	if err != nil {
 		fmt.Fprintln(stderr, "thothsim: pool recovery failed:", err)
@@ -182,6 +219,7 @@ type poolServeSim struct {
 	cfg         config.Config
 	roundBlocks int
 	rng         *poolRNG
+	sampler     *metrics.Sampler
 
 	mu     sync.Mutex
 	snap   stats.Stats
@@ -190,7 +228,7 @@ type poolServeSim struct {
 	cycle  int64
 }
 
-func newPoolServeSim(cfg config.Config, shards, roundBlocks int) (*poolServeSim, error) {
+func newPoolServeSim(cfg config.Config, shards, roundBlocks int, sampleEvery int64) (*poolServeSim, error) {
 	if roundBlocks <= 0 {
 		return nil, fmt.Errorf("serve: round size %d must be positive", roundBlocks)
 	}
@@ -206,6 +244,7 @@ func newPoolServeSim(cfg config.Config, shards, roundBlocks int) (*poolServeSim,
 		cfg:         cfg,
 		roundBlocks: roundBlocks,
 		rng:         &poolRNG{s: uint64(cfg.Seed)},
+		sampler:     metrics.NewSampler(reg, sampleEvery, 0, nil),
 	}
 	if err := s.publishSnap(); err != nil {
 		return nil, err
@@ -237,6 +276,7 @@ func (s *poolServeSim) publishSnap() error {
 	s.rounds++
 	s.cycle = cycle
 	s.mu.Unlock()
+	s.sampler.Tick(cycle)
 	return nil
 }
 

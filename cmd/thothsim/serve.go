@@ -37,6 +37,7 @@ type serveSim struct {
 	cfg      config.Config
 	workload string
 	roundTxs int
+	sampler  *metrics.Sampler
 
 	mu     sync.Mutex
 	snap   stats.Stats
@@ -50,7 +51,7 @@ type serveSim struct {
 // registry attached. extra, when non-nil, also receives every event —
 // the differential test uses it to record the JSONL trace that
 // cmd/tracemetrics replays.
-func newServeSim(cfg config.Config, workload string, setupKeys, warmupTxs, roundTxs int, extra obs.Tracer) (*serveSim, error) {
+func newServeSim(cfg config.Config, workload string, setupKeys, warmupTxs, roundTxs int, sampleEvery int64, extra obs.Tracer) (*serveSim, error) {
 	if roundTxs <= 0 {
 		return nil, fmt.Errorf("serve: round size %d must be positive", roundTxs)
 	}
@@ -85,17 +86,20 @@ func newServeSim(cfg config.Config, workload string, setupKeys, warmupTxs, round
 		cfg:      cfg,
 		workload: workload,
 		roundTxs: roundTxs,
+		sampler:  metrics.NewSampler(reg, sampleEvery, 0, nil),
 	}
 	s.publishSnap()
+	s.sampler.Tick(r.Now())
 	return s, nil
 }
 
 // round executes one round of transactions and refreshes the /statsz
-// snapshot.
+// snapshot and the time-series sampler.
 func (s *serveSim) round() error {
 	s.runner.RunTxs(s.roundTxs)
 	s.runner.Controller().SyncStats()
 	s.publishSnap()
+	s.sampler.Tick(s.runner.Now())
 	return nil
 }
 
@@ -167,16 +171,27 @@ func (s *serveSim) statsz() statsz {
 // promContentType is the Prometheus text exposition content type.
 const promContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// serveSampleCycles is the default gauge time-series sampling period in
+// modeled cycles (the -sample flag overrides it).
+const serveSampleCycles = 50000
+
 // buildServeMux builds the serve-mode HTTP handler: /metrics
-// (Prometheus text format), /statsz (JSON snapshot), /debug/vars
-// (expvar, including the registry bridge) and /debug/pprof/*. Both the
-// harness-backed and the pool-backed sims serve through it.
-func buildServeMux(reg *metrics.Registry, statsz func() any) *http.ServeMux {
+// (Prometheus text format), /statsz (JSON snapshot), /timeseries (the
+// gauge/counter ring sampler's window as JSON), /debug/vars (expvar,
+// including the registry bridge) and /debug/pprof/*. All the
+// round-driven sims serve through it.
+func buildServeMux(reg *metrics.Registry, statsz func() any, sampler *metrics.Sampler) *http.ServeMux {
 	metrics.Publish("thoth", reg)
 	m := http.NewServeMux()
 	m.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", promContentType)
 		if err := metrics.WriteProm(w, reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	m.HandleFunc("/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := sampler.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -200,11 +215,11 @@ func buildServeMux(reg *metrics.Registry, statsz func() any) *http.ServeMux {
 }
 
 func (s *serveSim) mux() *http.ServeMux {
-	return buildServeMux(s.reg, func() any { return s.statsz() })
+	return buildServeMux(s.reg, func() any { return s.statsz() }, s.sampler)
 }
 
 func (s *poolServeSim) mux() *http.ServeMux {
-	return buildServeMux(s.reg, func() any { return s.statsz() })
+	return buildServeMux(s.reg, func() any { return s.statsz() }, s.sampler)
 }
 
 // runServe implements the `thothsim serve` subcommand: boot the
@@ -233,6 +248,8 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 			"("+strings.Join(loadgen.ScenarioNames(), "|")+"; rounds issue -round ops; "+
 			"combine with -shards for a pooled target)")
 	tenants := fs.Int("tenants", 0, "tenant population for -load (0 = the scenario default)")
+	sample := fs.Int64("sample", serveSampleCycles,
+		"gauge time-series sampling period in modeled cycles (/timeseries window)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -258,12 +275,12 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		if *shards > 0 {
 			served = fmt.Sprintf("load(%s, %d shards)", *loadScn, *shards)
 		}
-		sim, err = newLoadServeSim(cfg, *loadScn, *tenants, *shards, *round)
+		sim, err = newLoadServeSim(cfg, *loadScn, *tenants, *shards, *round, *sample)
 	case *shards > 0:
 		served = fmt.Sprintf("pool(%d shards)", *shards)
-		sim, err = newPoolServeSim(cfg, *shards, *round)
+		sim, err = newPoolServeSim(cfg, *shards, *round, *sample)
 	default:
-		sim, err = newServeSim(cfg, *wl, *setup, *warmup, *round, nil)
+		sim, err = newServeSim(cfg, *wl, *setup, *warmup, *round, *sample, nil)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "thothsim serve:", err)

@@ -33,7 +33,7 @@ func serveTestConfig() config.Config {
 
 func newTestSim(t *testing.T, extra obs.Tracer) *serveSim {
 	t.Helper()
-	sim, err := newServeSim(serveTestConfig(), "btree", 512, 100, 200, extra)
+	sim, err := newServeSim(serveTestConfig(), "btree", 512, 100, 200, serveSampleCycles, extra)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,6 +95,59 @@ func TestServeMetricsGolden(t *testing.T) {
 	}
 	if !bytes.Equal(body, want) {
 		t.Errorf("/metrics drifted from golden (run with -update to regenerate)\ngot:\n%s", body)
+	}
+}
+
+// TestServeTimeseriesGolden pins the /timeseries endpoint: the sampler
+// window after a fixed seeded run must parse as the documented JSON
+// shape and match the committed golden byte-for-byte (json.Marshal
+// sorts the per-sample value maps, so the encoding is deterministic).
+func TestServeTimeseriesGolden(t *testing.T) {
+	sim := newTestSim(t, nil)
+	sim.round()
+	sim.round()
+	srv := httptest.NewServer(sim.mux())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/timeseries")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /timeseries: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var ts metrics.TimeSeries
+	if err := json.Unmarshal(body, &ts); err != nil {
+		t.Fatalf("/timeseries is not valid JSON: %v\n%s", err, body)
+	}
+	if ts.EveryCycles != serveSampleCycles {
+		t.Errorf("every_cycles = %d, want %d", ts.EveryCycles, serveSampleCycles)
+	}
+	if len(ts.Samples) == 0 {
+		t.Fatal("no samples after two rounds")
+	}
+	for i := 1; i < len(ts.Samples); i++ {
+		if ts.Samples[i].Cycle <= ts.Samples[i-1].Cycle {
+			t.Fatalf("sample cycles not increasing: %d after %d",
+				ts.Samples[i].Cycle, ts.Samples[i-1].Cycle)
+		}
+	}
+
+	path := filepath.Join("testdata", "serve_timeseries.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("/timeseries drifted from golden (run with -update to regenerate)\ngot:\n%s", body)
 	}
 }
 
@@ -268,7 +321,7 @@ func TestRunServeRejectsBadFlags(t *testing.T) {
 // /metrics carries the engine's per-shard families with shard labels.
 func TestServePoolEndpoints(t *testing.T) {
 	cfg := serveTestConfig()
-	sim, err := newPoolServeSim(cfg, 4, 200)
+	sim, err := newPoolServeSim(cfg, 4, 200, serveSampleCycles)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 //	tracemetrics run.jsonl             # Prometheus text format
 //	tracemetrics -format expvar run.jsonl
 //	tracemetrics -format summary run.jsonl
+//	thothsim -trace /dev/stdout ... | tracemetrics -   # read the trace from stdin
 package main
 
 import (
@@ -31,12 +32,12 @@ func replay(r io.Reader) (*metrics.Registry, int, error) {
 	return reg, n, err
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tracemetrics", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	format := fs.String("format", "prom", "output format: prom|expvar|summary")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: tracemetrics [-format prom|expvar|summary] trace.jsonl")
+		fmt.Fprintln(stderr, "usage: tracemetrics [-format prom|expvar|summary] trace.jsonl ('-' reads stdin)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -53,14 +54,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintln(stderr, "tracemetrics:", err)
-		return 1
+	in := stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracemetrics:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
 	}
-	defer f.Close()
 
-	reg, n, err := replay(f)
+	reg, n, err := replay(in)
 	if err != nil {
 		fmt.Fprintln(stderr, "tracemetrics:", err)
 		return 1
@@ -86,4 +91,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }

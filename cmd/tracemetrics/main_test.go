@@ -56,7 +56,7 @@ func TestReplayMatchesLive(t *testing.T) {
 	path, liveReg := recordRun(t)
 
 	var out, errw bytes.Buffer
-	if code := run([]string{path}, &out, &errw); code != 0 {
+	if code := run([]string{path}, nil, &out, &errw); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errw.String())
 	}
 
@@ -75,7 +75,7 @@ func TestReplayMatchesLive(t *testing.T) {
 func TestReplayOutputValidates(t *testing.T) {
 	path, _ := recordRun(t)
 	var out, errw bytes.Buffer
-	if code := run([]string{path}, &out, &errw); code != 0 {
+	if code := run([]string{path}, nil, &out, &errw); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errw.String())
 	}
 	if n, err := metrics.ValidateProm(&out); err != nil || n == 0 {
@@ -87,7 +87,7 @@ func TestExpvarAndSummaryFormats(t *testing.T) {
 	path, _ := recordRun(t)
 
 	var out, errw bytes.Buffer
-	if code := run([]string{"-format", "expvar", path}, &out, &errw); code != 0 {
+	if code := run([]string{"-format", "expvar", path}, nil, &out, &errw); code != 0 {
 		t.Fatalf("expvar: exit %d, stderr: %s", code, errw.String())
 	}
 	var payload map[string]any
@@ -96,7 +96,7 @@ func TestExpvarAndSummaryFormats(t *testing.T) {
 	}
 
 	out.Reset()
-	if code := run([]string{"-format", "summary", path}, &out, &errw); code != 0 {
+	if code := run([]string{"-format", "summary", path}, nil, &out, &errw); code != 0 {
 		t.Fatalf("summary: exit %d, stderr: %s", code, errw.String())
 	}
 	if !strings.Contains(out.String(), "events=") || !strings.Contains(out.String(), "thoth_events_total") {
@@ -106,13 +106,13 @@ func TestExpvarAndSummaryFormats(t *testing.T) {
 
 func TestRejectsBadInput(t *testing.T) {
 	var out, errw bytes.Buffer
-	if code := run([]string{}, &out, &errw); code != 2 {
+	if code := run([]string{}, nil, &out, &errw); code != 2 {
 		t.Fatalf("no args: exit %d, want 2", code)
 	}
-	if code := run([]string{"-format", "bogus", "x.jsonl"}, &out, &errw); code != 2 {
+	if code := run([]string{"-format", "bogus", "x.jsonl"}, nil, &out, &errw); code != 2 {
 		t.Fatalf("bad format: exit %d, want 2", code)
 	}
-	if code := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errw); code != 1 {
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, nil, &out, &errw); code != 1 {
 		t.Fatalf("missing file: exit %d, want 1", code)
 	}
 
@@ -124,10 +124,31 @@ func TestRejectsBadInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	errw.Reset()
-	if code := run([]string{bad}, &out, &errw); code != 1 {
+	if code := run([]string{bad}, nil, &out, &errw); code != 1 {
 		t.Fatalf("bad kind: exit %d, want 1", code)
 	}
 	if !strings.Contains(errw.String(), "unknown kind") {
 		t.Errorf("stderr missing diagnosis: %s", errw.String())
+	}
+}
+
+// TestStdinDash pins the `-` path argument: the trace is read from the
+// provided stdin and replays to the same exposition as the file path.
+func TestStdinDash(t *testing.T) {
+	path, _ := recordRun(t)
+	var fromFile, errw bytes.Buffer
+	if code := run([]string{path}, nil, &fromFile, &errw); code != 0 {
+		t.Fatalf("file: exit %d, stderr: %s", code, errw.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromStdin bytes.Buffer
+	if code := run([]string{"-"}, bytes.NewReader(raw), &fromStdin, &errw); code != 0 {
+		t.Fatalf("stdin: exit %d, stderr: %s", code, errw.String())
+	}
+	if fromStdin.String() != fromFile.String() {
+		t.Fatal("stdin replay differs from file replay")
 	}
 }

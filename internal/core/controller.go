@@ -82,6 +82,20 @@ type Controller struct {
 	tr        obs.Tracer
 	schemeTag string
 
+	// flight is the always-on crash black box: a bounded ring of the
+	// most recent events, independent of the opt-in tracer, snapshot by
+	// Crash/Shutdown callers and dumped to JSONL alongside the crash
+	// image. Emitting into it copies a flat Event under a mutex — no
+	// allocation, so the disabled-tracer hot path stays 0 allocs/op.
+	flight *obs.FlightRecorder
+
+	// span, when non-nil, receives per-stage latency attribution for
+	// every timed operation: persistBlock and ReadBlock charge each
+	// segment of their critical path (fetch, crypto, tree, WPQ,
+	// persist) so the stage cycles sum exactly to completion − entry.
+	// nil disables charging at one branch per boundary.
+	span *obs.Span
+
 	// Native metrics handles, resolved once from cfg.Metrics in attach
 	// (nil when metrics are disabled). These cover the two signals the
 	// event stream cannot derive: the write critical-path latency needs
@@ -90,6 +104,8 @@ type Controller struct {
 	// path stays allocation-free either way.
 	mWriteCycles *metrics.Histogram
 	mPUBOcc      *metrics.Gauge
+	mWPQOcc      *metrics.Gauge
+	mSpecMisses  *metrics.Gauge
 
 	crashed bool
 	// inADRFlush marks the residual-power drain at crash/shutdown:
@@ -194,6 +210,7 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 
 		tr:        cfg.Tracer,
 		schemeTag: cfg.Scheme.String(),
+		flight:    obs.NewFlightRecorder(0),
 
 		readBuf: make([]byte, cfg.BlockSize),
 		ctBuf:   make([]byte, cfg.BlockSize),
@@ -228,7 +245,13 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 		}
 	}
 	c.q = wpq.New(mem, qEntries, drainAt, cfg.WriteLatencyCycles())
-	c.q.Tracer = cfg.Tracer
+	// The WPQ emits drain events on its own; route them through the
+	// flight recorder too so the crash black box sees queue behavior.
+	if cfg.Tracer != nil {
+		c.q.Tracer = obs.Multi(cfg.Tracer, c.flight)
+	} else {
+		c.q.Tracer = c.flight
+	}
 	c.q.Scheme = c.schemeTag
 	if cfg.Metrics != nil {
 		c.mWriteCycles = cfg.Metrics.Histogram("thoth_write_cycles",
@@ -242,6 +265,12 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 				"Live PUB ring occupancy in packed blocks.",
 				metrics.Label{Key: "scheme", Value: c.schemeTag})
 		}
+		c.mWPQOcc = cfg.Metrics.Gauge("thoth_wpq_occupancy",
+			"Live WPQ occupancy in slots (pending + in flight).",
+			metrics.Label{Key: "scheme", Value: c.schemeTag})
+		c.mSpecMisses = cfg.Metrics.Gauge("thoth_spec_misses",
+			"Batched-persist counter speculation misses (inline recomputes).",
+			metrics.Label{Key: "scheme", Value: c.schemeTag})
 	}
 	if sch.UsesPUB() && cfg.PCBAfterWPQ {
 		c.afterEntries = make(map[int64][]pub.Entry)
@@ -274,14 +303,15 @@ func attach(cfg config.Config, lay *layout.Layout, dev *nvm.Device) (*Controller
 	return c, nil
 }
 
-// emit hands one event to the configured tracer. The nil check comes
-// before the Event literal so the disabled path allocates nothing and
-// costs one branch (BenchmarkTracerDisabled holds this at 0 allocs/op).
+// emit hands one event to the flight recorder and, when tracing is
+// enabled, the configured tracer. Event is a flat value struct and the
+// recorder copies it into a preallocated ring, so the disabled-tracer
+// path stays 0 allocs/op (BenchmarkTracerDisabled holds this).
 func (c *Controller) emit(k obs.Kind, cycle, addr, aux int64, part, detail string) {
-	if c.tr == nil {
+	if c.tr == nil && c.flight == nil {
 		return
 	}
-	c.tr.Emit(obs.Event{
+	e := obs.Event{
 		Kind:   k,
 		Cycle:  cycle,
 		Addr:   addr,
@@ -289,7 +319,13 @@ func (c *Controller) emit(k obs.Kind, cycle, addr, aux int64, part, detail strin
 		Scheme: c.schemeTag,
 		Part:   part,
 		Detail: detail,
-	})
+	}
+	if c.flight != nil {
+		c.flight.Emit(e)
+	}
+	if c.tr != nil {
+		c.tr.Emit(e)
+	}
 }
 
 // dirtyAux encodes a victim's dirty bit for KindCacheEvict.
@@ -303,6 +339,24 @@ func dirtyAux(dirty bool) int64 {
 // Tracer returns the tracer the controller emits to (nil when tracing
 // is disabled).
 func (c *Controller) Tracer() obs.Tracer { return c.tr }
+
+// Flight returns the controller's always-on flight recorder.
+func (c *Controller) Flight() *obs.FlightRecorder { return c.flight }
+
+// FlightRecord snapshots the flight recorder: the retained event tail,
+// frozen. Crash paths call this after Crash/Shutdown so the dump
+// includes the ADR flush events of the crash sequence itself.
+func (c *Controller) FlightRecord() obs.FlightRecord { return c.flight.Snapshot() }
+
+// SetSpan installs (or, with nil, removes) the per-operation latency
+// attribution span. The caller owns the span's lifecycle: reset it
+// before each op, read the stage cycles after. The controller is
+// single-threaded; the span is charged synchronously during timed
+// operations and never retained beyond them.
+func (c *Controller) SetSpan(s *obs.Span) { c.span = s }
+
+// Span returns the installed attribution span (nil when disabled).
+func (c *Controller) Span() *obs.Span { return c.span }
 
 // Stats returns the run statistics.
 func (c *Controller) Stats() *stats.Stats { return c.st }

@@ -32,6 +32,7 @@ func (c *Controller) setNow(t int64) {
 func (c *Controller) ReadBlock(t int64, addr int64) (int64, []byte) {
 	c.checkAlive()
 	c.setNow(t)
+	cur := obs.NewCursor(c.span, t)
 
 	ctrLine, tc := c.fetchCtr(t, addr)
 	slot := c.lay.CtrSlot(addr)
@@ -47,6 +48,11 @@ func (c *Controller) ReadBlock(t int64, addr int64) (int64, []byte) {
 
 	macLine, tm := c.fetchMAC(t, addr)
 	done := max64(max64(tc+c.aesLat(), dataDone), tm) + c.hashLat()
+	// Attribution: everything up to the last fetch completion is fetch;
+	// the remaining pad/hash tail to done is crypto. done never precedes
+	// the fetch boundary, so the two charges sum to done − t exactly.
+	cur.Charge(obs.SpanFetch, max64(max64(tc, dataDone), tm))
+	cur.Charge(obs.SpanCrypto, done)
 
 	size := c.cfg.MACSize()
 	want := c.macBuf[:size]
@@ -106,12 +112,14 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 		panic(fmt.Sprintf("core: persist of %d bytes, block size is %d", len(plain), c.cfg.BlockSize))
 	}
 	c.setNow(t)
+	cur := obs.NewCursor(c.span, t)
 
 	// Counter and MAC block fetches proceed in parallel (the channel
 	// serializes any misses).
 	ctrLine, tc := c.fetchCtr(t, addr)
 	macLine, tm := c.fetchMAC(t, addr)
 	slot := c.lay.CtrSlot(addr)
+	cur.Charge(obs.SpanFetch, max64(tc, tm))
 
 	// Handle minor-counter overflow before bumping: the whole page is
 	// re-encrypted under the new major and the counter block is
@@ -119,9 +127,12 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 	tOverflow := int64(0)
 	if ctr.Minor(ctrLine.Data, slot) == crypt.MinorMax {
 		tOverflow = c.reencryptPage(max64(tc, tm), addr, ctrLine)
+		// Page re-encryption is crypto work on the critical path.
+		cur.Charge(obs.SpanCrypto, tOverflow)
 		// Page re-encryption touches every MAC block of the page and may
 		// have displaced the line we hold; re-resolve it.
 		macLine, tm = c.fetchMAC(tOverflow, addr)
+		cur.Charge(obs.SpanFetch, tm)
 	}
 
 	// Dirty state is sampled *after* overflow handling (which persists
@@ -156,6 +167,9 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 	} else {
 		if pre != nil {
 			c.specMisses++
+			if c.mSpecMisses != nil {
+				c.mSpecMisses.Set(c.specMisses)
+			}
 		}
 		c.eng.EncryptInto(ciphertext, plain, addr, counter)
 		c.eng.MACInto(mac1, ciphertext, addr, counter)
@@ -166,7 +180,9 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 	// eager update of the small tree over the secure metadata cache
 	// (Table I: 4-level, eager).
 	tCrypto := max64(max64(tc, tm), tOverflow) + c.aesLat() + c.hashLat()
+	cur.Charge(obs.SpanCrypto, tCrypto)
 	tCrypto += int64(c.cfg.CacheTreeLevels) * c.hashLat()
+	cur.Charge(obs.SpanTree, tCrypto)
 
 	// WTBC fine-grain dirtiness tracking.
 	ctrLine.Mask |= 1 << uint(slot)
@@ -179,6 +195,7 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 		c.st.AddWrite(stats.WriteData)
 	}
 	done := res.When
+	cur.Charge(obs.SpanWPQ, done)
 
 	// Metadata persistence is the scheme's call: fill the reusable write
 	// context and dispatch. A scheme that adds nothing to the critical
@@ -196,6 +213,7 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 	w.WasCtrDirty = wasCtrDirty
 	w.WasMACDirty = wasMACDirty
 	done = max64(done, c.sch.PersistMetadata(c, tCrypto, w))
+	cur.Charge(obs.SpanPersist, done)
 
 	// Anubis shadow tracking: record both metadata updates so recovery
 	// knows which blocks may have been lost with the caches.
@@ -207,6 +225,9 @@ func (c *Controller) persistBlock(t int64, addr int64, plain []byte, pre *preCry
 	}
 	if c.mPUBOcc != nil {
 		c.mPUBOcc.Set(c.ring.Len())
+	}
+	if c.mWPQOcc != nil {
+		c.mWPQOcc.Set(int64(c.q.Occupancy()))
 	}
 	return done
 }

@@ -94,13 +94,21 @@ type req struct {
 
 	arrival int64 // opTimed*: modeled arrival cycle of the op
 
+	// span, when non-nil on an opTimed* request, receives the segment's
+	// per-stage latency attribution: the shard charges the mailbox wait
+	// (arrival → service start) to SpanQueue and installs the span on
+	// its controller for the service itself, so the segment's stage
+	// cycles sum exactly to done − arrival.
+	span *obs.Span
+
 	wg *sync.WaitGroup
 
 	// Results.
-	err   error
-	done  int64       // opTimed*: completion cycle of the segment
-	stats stats.Stats // opStats
-	dev   *nvm.Device // opCrash / opShutdown
+	err    error
+	done   int64           // opTimed*: completion cycle of the segment
+	stats  stats.Stats     // opStats
+	dev    *nvm.Device     // opCrash / opShutdown
+	flight obs.FlightRecord // opCrash / opShutdown: the shard's black box
 }
 
 // shard is one controller partition: a goroutine owning ctl and now,
@@ -117,6 +125,7 @@ type shard struct {
 	mOps    *metrics.Counter
 	mBlocks *metrics.Counter
 	mCycles *metrics.Gauge
+	mMail   *metrics.Gauge
 }
 
 // Pool is the sharded multi-controller system over one logical data
@@ -209,6 +218,8 @@ func newPool(cfg config.Config, shards int, attach func(scfg config.Config, i in
 				"Data blocks persisted by this pool shard.", lbl)
 			sh.mCycles = cfg.Metrics.Gauge("thoth_pool_shard_cycles",
 				"Modeled cycle clock of this pool shard.", lbl)
+			sh.mMail = cfg.Metrics.Gauge("thoth_pool_shard_mailbox_depth",
+				"Requests waiting in this pool shard's mailbox.", lbl)
 		}
 		p.shards[i] = sh
 		go sh.run()
@@ -494,10 +505,12 @@ func (p *Pool) CrashShards(crash []bool) (*PoolImage, error) {
 		Shards:  p.n,
 		Crashed: append([]bool(nil), crash...),
 		Devices: make([]*nvm.Device, p.n),
+		Flights: make([]obs.FlightRecord, p.n),
 	}
 	var errs []error
 	for i, r := range rs {
 		img.Devices[i] = r.dev
+		img.Flights[i] = r.flight
 		if r.err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, r.err))
 		}
@@ -549,10 +562,16 @@ func (s *shard) handle(r *req) {
 	defer func() {
 		if v := recover(); v != nil {
 			r.err = fmt.Errorf("engine: shard %d: panic: %v", s.idx, v)
+			// A panic mid-service may leave a request span installed on
+			// the controller; never let it leak into later ops.
+			s.ctl.SetSpan(nil)
 		}
 	}()
 	if s.mOps != nil {
 		s.mOps.Inc()
+	}
+	if s.mMail != nil {
+		s.mMail.Set(int64(len(s.mail)))
 	}
 	switch r.kind {
 	case opWrite:
@@ -565,13 +584,17 @@ func (s *shard) handle(r *req) {
 		if r.arrival > s.now {
 			s.now = r.arrival
 		}
+		s.beginSpan(r)
 		s.write(r.addr, r.data)
+		s.endSpan(r)
 		r.done = s.now
 	case opTimedRead:
 		if r.arrival > s.now {
 			s.now = r.arrival
 		}
+		s.beginSpan(r)
 		s.read(r.addr, r.data)
+		s.endSpan(r)
 		r.done = s.now
 	case opBatch:
 		s.now = s.ctl.PersistBatch(s.now, r.batch)
@@ -588,13 +611,36 @@ func (s *shard) handle(r *req) {
 	case opCrash:
 		r.err = s.ctl.Crash(s.now)
 		r.dev = s.ctl.Device()
+		// Snapshot after the crash so the black box includes the ADR
+		// flush events of the crash sequence itself.
+		r.flight = s.ctl.FlightRecord()
 	case opShutdown:
 		s.now, r.err = s.ctl.Shutdown(s.now)
 		r.dev = s.ctl.Device()
+		r.flight = s.ctl.FlightRecord()
 	}
 	if s.mCycles != nil {
 		s.mCycles.Set(s.now)
 	}
+}
+
+// beginSpan charges an opTimed* request's mailbox wait (arrival →
+// service start) to SpanQueue and installs its span on the controller
+// for the service; endSpan uninstalls it. Both are no-ops without a
+// span, so the disabled path costs one branch.
+func (s *shard) beginSpan(r *req) {
+	if r.span == nil {
+		return
+	}
+	r.span.Add(obs.SpanQueue, s.now-r.arrival)
+	s.ctl.SetSpan(r.span)
+}
+
+func (s *shard) endSpan(r *req) {
+	if r.span == nil {
+		return
+	}
+	s.ctl.SetSpan(nil)
 }
 
 // write applies one segment (confined to a single metadata group) with

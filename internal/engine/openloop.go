@@ -10,13 +10,26 @@ package engine
 // internal/loadgen feeds into the metrics histograms. Requests spanning
 // multiple metadata groups complete when their last segment does.
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // WriteArrive persists data at the given pool offset, modeling the op as
 // arriving at the given cycle. It returns the op's completion cycle: the
 // latest completion across its shard segments, each serviced no earlier
 // than the arrival and no earlier than the shard's prior backlog.
 func (p *Pool) WriteArrive(arrival, addr int64, data []byte) (int64, error) {
+	return p.WriteArriveSpan(arrival, addr, data, nil)
+}
+
+// WriteArriveSpan is WriteArrive with per-stage latency attribution:
+// when span is non-nil it receives the stage decomposition of the op's
+// critical segment — the one whose completion defines the op's — so the
+// stage cycles sum exactly to completion − arrival. A nil span is
+// exactly WriteArrive (no charging, no allocation).
+func (p *Pool) WriteArriveSpan(arrival, addr int64, data []byte, span *obs.Span) (int64, error) {
 	if arrival < 0 {
 		return 0, fmt.Errorf("engine: negative arrival cycle %d", arrival)
 	}
@@ -30,16 +43,23 @@ func (p *Pool) WriteArrive(arrival, addr int64, data []byte) (int64, error) {
 		rs = append(rs, &req{kind: opTimedWrite, shard: sh, arrival: arrival,
 			addr: local, data: data[off : off+length]})
 	})
+	attachSpans(rs, span)
 	if err := p.dispatch(rs); err != nil {
 		return 0, err
 	}
-	return maxDone(rs), nil
+	return settleSpans(rs, span), nil
 }
 
 // ReadArrive fills dst from the given pool offset, modeling the op as
 // arriving at the given cycle; see WriteArrive for the completion
 // semantics.
 func (p *Pool) ReadArrive(arrival, addr int64, dst []byte) (int64, error) {
+	return p.ReadArriveSpan(arrival, addr, dst, nil)
+}
+
+// ReadArriveSpan is ReadArrive with per-stage latency attribution; see
+// WriteArriveSpan.
+func (p *Pool) ReadArriveSpan(arrival, addr int64, dst []byte, span *obs.Span) (int64, error) {
 	if arrival < 0 {
 		return 0, fmt.Errorf("engine: negative arrival cycle %d", arrival)
 	}
@@ -53,10 +73,48 @@ func (p *Pool) ReadArrive(arrival, addr int64, dst []byte) (int64, error) {
 		rs = append(rs, &req{kind: opTimedRead, shard: sh, arrival: arrival,
 			addr: local, data: dst[off : off+length]})
 	})
+	attachSpans(rs, span)
 	if err := p.dispatch(rs); err != nil {
 		return 0, err
 	}
-	return maxDone(rs), nil
+	return settleSpans(rs, span), nil
+}
+
+// attachSpans wires the caller's span into a dispatched request set. A
+// single-segment op charges the caller's span directly (no allocation —
+// the common case for block-granular load); a multi-segment op gives
+// each segment a private span so the critical segment's decomposition
+// can be selected afterwards.
+func attachSpans(rs []*req, span *obs.Span) {
+	if span == nil {
+		return
+	}
+	span.Reset()
+	if len(rs) == 1 {
+		rs[0].span = span
+		return
+	}
+	for _, r := range rs {
+		r.span = new(obs.Span)
+	}
+}
+
+// settleSpans returns the op's completion cycle and, for multi-segment
+// ops with attribution, copies the critical (latest-finishing) segment's
+// stage decomposition into the caller's span. The WaitGroup in dispatch
+// ordered every shard's writes before this read.
+func settleSpans(rs []*req, span *obs.Span) int64 {
+	done := maxDone(rs)
+	if span == nil || len(rs) == 1 {
+		return done
+	}
+	for _, r := range rs {
+		if r.done == done {
+			*span = *r.span
+			break
+		}
+	}
+	return done
 }
 
 // maxDone returns the latest segment completion of a dispatched set.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 )
 
@@ -25,6 +26,12 @@ type PoolImage struct {
 	Shards  int
 	Crashed []bool
 	Devices []*nvm.Device
+
+	// Flights holds each shard's flight-recorder snapshot taken at the
+	// crash/shutdown point — the black box that ships with the image.
+	// Optional: images constructed by hand (tests, deserialization) may
+	// leave it nil; validate does not require it.
+	Flights []obs.FlightRecord
 }
 
 // validate checks the image geometry against a shard count.

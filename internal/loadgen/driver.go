@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 )
 
@@ -84,6 +85,14 @@ type Options struct {
 	// CollectOps appends every generated op to an in-memory trace
 	// (Ops()), for replay through another driver or system.
 	CollectOps bool
+	// Attribution decomposes every op's latency into pipeline-stage
+	// cycles (queue, fetch, crypto, tree, wpq, persist) via the target's
+	// SpanTarget interface: per-stage thoth_op_stage_cycles histograms,
+	// plus the aggregate and per-tenant Attribution report. ExecOp
+	// enforces conservation — stage cycles must sum exactly to
+	// completion − arrival — and fails loudly on any leak. Requires a
+	// target implementing SpanTarget.
+	Attribution bool
 }
 
 // tenant is one simulated client: arrival process, key chooser, op-mix
@@ -96,6 +105,9 @@ type tenant struct {
 	hist    *metrics.Histogram
 	reads   int64
 	writes  int64
+	// stages accumulates the tenant's per-stage attribution cycles
+	// (Options.Attribution).
+	stages [obs.NumStages]int64
 }
 
 // Driver generates and executes one scenario against one target. Not
@@ -120,6 +132,14 @@ type Driver struct {
 	opsRead   *metrics.Counter
 	opsWrite  *metrics.Counter
 	gCycle    *metrics.Gauge
+
+	// Attribution state (Options.Attribution): the span-capable view of
+	// the target, the reusable per-op span, the per-stage histogram
+	// handles, and the aggregate stage totals.
+	spanTgt   SpanTarget
+	span      obs.Span
+	histStage [obs.NumStages]*metrics.Histogram
+	stageAgg  [obs.NumStages]int64
 
 	sha  hash.Hash
 	hbuf [33]byte
@@ -191,6 +211,18 @@ func NewDriver(scn Scenario, tgt Target, cfg config.Config, reg *metrics.Registr
 		metrics.Label{Key: "op", Value: "write"})
 	d.gCycle = reg.Gauge("thoth_loadgen_cycle",
 		"Latest modeled completion cycle observed by the load generator.")
+	if opts.Attribution {
+		st, ok := tgt.(SpanTarget)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: Options.Attribution requires a SpanTarget, got %T", tgt)
+		}
+		d.spanTgt = st
+		for _, stage := range obs.Stages() {
+			d.histStage[stage] = reg.Histogram("thoth_op_stage_cycles",
+				"Per-op cycles attributed to each pipeline stage (stages sum to op latency).",
+				metrics.Label{Key: "stage", Value: stage.String()})
+		}
+	}
 
 	master := newRNG(scn.Seed)
 	d.tenants = make([]tenant, scn.Tenants)
@@ -299,7 +331,11 @@ func (d *Driver) ExecOp(op *Op) error {
 		if len(d.rbuf) < op.Len {
 			d.rbuf = make([]byte, op.Len)
 		}
-		done, err = d.tgt.Read(op.Arrival, op.Addr, d.rbuf[:op.Len])
+		if d.spanTgt != nil {
+			done, err = d.spanTgt.ReadSpan(op.Arrival, op.Addr, d.rbuf[:op.Len], &d.span)
+		} else {
+			done, err = d.tgt.Read(op.Arrival, op.Addr, d.rbuf[:op.Len])
+		}
 		if err != nil {
 			return fmt.Errorf("loadgen: tenant %d read [%d,+%d): %w", op.Tenant, op.Addr, op.Len, err)
 		}
@@ -311,7 +347,11 @@ func (d *Driver) ExecOp(op *Op) error {
 			d.wbuf = make([]byte, op.Len)
 		}
 		FillPayload(d.wbuf[:op.Len], op.Seq, op.Addr)
-		done, err = d.tgt.Write(op.Arrival, op.Addr, d.wbuf[:op.Len])
+		if d.spanTgt != nil {
+			done, err = d.spanTgt.WriteSpan(op.Arrival, op.Addr, d.wbuf[:op.Len], &d.span)
+		} else {
+			done, err = d.tgt.Write(op.Arrival, op.Addr, d.wbuf[:op.Len])
+		}
 		if err != nil {
 			return fmt.Errorf("loadgen: tenant %d write [%d,+%d): %w", op.Tenant, op.Addr, op.Len, err)
 		}
@@ -330,6 +370,18 @@ func (d *Driver) ExecOp(op *Op) error {
 	lat := done - op.Arrival
 	if lat < d.minLat {
 		d.minLat = lat
+	}
+	if d.spanTgt != nil {
+		if got := d.span.Total(); got != lat {
+			return fmt.Errorf("loadgen: tenant %d %s [%d,+%d): stage cycles %d do not sum to latency %d (leak %d)",
+				op.Tenant, op.Kind, op.Addr, op.Len, got, lat, lat-got)
+		}
+		for _, st := range obs.Stages() {
+			v := d.span.Stages[st]
+			d.histStage[st].Observe(v)
+			d.stageAgg[st] += v
+			t.stages[st] += v
+		}
 	}
 	h.Observe(lat)
 	t.hist.Observe(lat)
@@ -379,6 +431,13 @@ func (d *Driver) SetTarget(t Target) error {
 	if int64(t.BlockSize()) != d.bs || t.DataSize() != d.tgt.DataSize() {
 		return fmt.Errorf("loadgen: replacement target geometry %dB×%d differs from %dB×%d",
 			t.BlockSize(), t.DataSize(), d.bs, d.tgt.DataSize())
+	}
+	if d.opts.Attribution {
+		st, ok := t.(SpanTarget)
+		if !ok {
+			return fmt.Errorf("loadgen: Options.Attribution requires a SpanTarget, got %T", t)
+		}
+		d.spanTgt = st
 	}
 	d.tgt = t
 	return nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -20,6 +21,18 @@ type Target interface {
 	DataSize() int64
 	Write(arrival, addr int64, data []byte) (int64, error)
 	Read(arrival, addr int64, dst []byte) (int64, error)
+}
+
+// SpanTarget is a Target that can decompose each op's modeled latency
+// into pipeline-stage cycles: the *Span variants reset span and charge
+// every stage of the op's critical path so the stage cycles sum exactly
+// to completion − arrival (the conservation property the attribution
+// tests pin). A nil span must behave exactly like the plain call. Both
+// built-in targets implement it; Options.Attribution requires it.
+type SpanTarget interface {
+	Target
+	WriteSpan(arrival, addr int64, data []byte, span *obs.Span) (int64, error)
+	ReadSpan(arrival, addr int64, dst []byte, span *obs.Span) (int64, error)
 }
 
 // ControllerTarget adapts one core.Controller. It owns the modeled
@@ -83,11 +96,25 @@ func (t *ControllerTarget) checkRange(arrival, addr int64, n int) error {
 // boundaries with read-modify-write for partial blocks — System.Write's
 // exact protocol, starting from max(arrival, clock).
 func (t *ControllerTarget) Write(arrival, addr int64, data []byte) (int64, error) {
+	return t.WriteSpan(arrival, addr, data, nil)
+}
+
+// WriteSpan is Write with per-stage latency attribution: the front-end
+// wait (arrival → service start) is charged to SpanQueue and the
+// controller charges the service stages, so span's total equals
+// completion − arrival. nil span is exactly Write.
+func (t *ControllerTarget) WriteSpan(arrival, addr int64, data []byte, span *obs.Span) (int64, error) {
 	if err := t.checkRange(arrival, addr, len(data)); err != nil {
 		return t.now, err
 	}
 	if arrival > t.now {
 		t.now = arrival
+	}
+	if span != nil {
+		span.Reset()
+		span.Add(obs.SpanQueue, t.now-arrival)
+		t.ctl.SetSpan(span)
+		defer t.ctl.SetSpan(nil)
 	}
 	for off := int64(0); off < int64(len(data)); {
 		blk := (addr + off) / t.bs * t.bs
@@ -114,11 +141,22 @@ func (t *ControllerTarget) Write(arrival, addr int64, data []byte) (int64, error
 // Read fills dst from the given offset, decrypting and verifying every
 // covered block, starting from max(arrival, clock).
 func (t *ControllerTarget) Read(arrival, addr int64, dst []byte) (int64, error) {
+	return t.ReadSpan(arrival, addr, dst, nil)
+}
+
+// ReadSpan is Read with per-stage latency attribution; see WriteSpan.
+func (t *ControllerTarget) ReadSpan(arrival, addr int64, dst []byte, span *obs.Span) (int64, error) {
 	if err := t.checkRange(arrival, addr, len(dst)); err != nil {
 		return t.now, err
 	}
 	if arrival > t.now {
 		t.now = arrival
+	}
+	if span != nil {
+		span.Reset()
+		span.Add(obs.SpanQueue, t.now-arrival)
+		t.ctl.SetSpan(span)
+		defer t.ctl.SetSpan(nil)
 	}
 	for off := int64(0); off < int64(len(dst)); {
 		blk := (addr + off) / t.bs * t.bs
@@ -163,4 +201,17 @@ func (t *PoolTarget) Write(arrival, addr int64, data []byte) (int64, error) {
 // Read fills dst from the given offset.
 func (t *PoolTarget) Read(arrival, addr int64, dst []byte) (int64, error) {
 	return t.pool.ReadArrive(arrival, addr, dst)
+}
+
+// WriteSpan is Write with per-stage latency attribution: the shard
+// mailbox wait of the op's critical segment lands in SpanQueue and the
+// owning controller charges the service stages; see engine's
+// WriteArriveSpan for the multi-segment semantics.
+func (t *PoolTarget) WriteSpan(arrival, addr int64, data []byte, span *obs.Span) (int64, error) {
+	return t.pool.WriteArriveSpan(arrival, addr, data, span)
+}
+
+// ReadSpan is Read with per-stage latency attribution; see WriteSpan.
+func (t *PoolTarget) ReadSpan(arrival, addr int64, dst []byte, span *obs.Span) (int64, error) {
+	return t.pool.ReadArriveSpan(arrival, addr, dst, span)
 }

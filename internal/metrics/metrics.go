@@ -94,6 +94,31 @@ func validName(name string) bool {
 	return true
 }
 
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote and newline only. Go's %q
+// must not be used here — it escapes tabs, control bytes and non-ASCII
+// runes into sequences the format does not define.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
 // renderLabels produces the canonical label string for a label set:
 // keys sorted, values quoted. Registration-time only; never on the hot
 // path.
@@ -112,7 +137,10 @@ func renderLabels(labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()

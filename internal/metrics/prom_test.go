@@ -154,3 +154,45 @@ rpc_seconds_count 100
 		t.Fatalf("validated %d samples, want 4", n)
 	}
 }
+
+// TestLabelEscapingRoundTrip pins the Prometheus text-format escaping
+// of label values: backslash, double quote and newline are escaped
+// (and nothing else — Go's %q dialect is not the exposition format),
+// and the rendered output round-trips through ValidateProm.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	r := New()
+	hostile := []struct{ value, want string }{
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{`dou"ble`, `dou\"ble`},
+		{"new\nline", `new\nline`},
+		{"tab\tstays", "tab\tstays"},
+		{"unicode µs", "unicode µs"},
+		{`all "three"` + "\n" + `\mixed`, `all \"three\"\n\\mixed`},
+	}
+	for i, h := range hostile {
+		r.Counter("thoth_escape_total", "Escaping cases.",
+			Label{"case", h.value}, Label{"idx", string(rune('a' + i))}).Add(int64(i + 1))
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, h := range hostile {
+		want := `case="` + h.want + `"`
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `\t`) || strings.Contains(out, `\u`) || strings.Contains(out, `\x`) {
+		t.Errorf("Go-quoting escape leaked into exposition:\n%s", out)
+	}
+	n, err := ValidateProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("escaped exposition failed validation: %v\n%s", err, out)
+	}
+	if n != len(hostile) {
+		t.Fatalf("validated %d samples, want %d", n, len(hostile))
+	}
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultSamplerCap is the ring capacity NewSampler uses for
+// capacity < 1: enough for a full load run at a few thousand cycles per
+// sample without unbounded growth.
+const DefaultSamplerCap = 1024
+
+// Sample is one time-series point: every selected gauge and counter
+// series, keyed by its exposition name (family plus rendered labels),
+// at one modeled cycle.
+type Sample struct {
+	Cycle  int64            `json:"cycle"`
+	Values map[string]int64 `json:"values"`
+}
+
+// Sampler snapshots a registry's gauge and counter series into a
+// fixed-size ring every sampling period of modeled cycles — the queue
+// time-series behind `thothsim serve`'s /timeseries endpoint and the
+// periodic load summary. The caller drives it with Tick from the
+// simulation loop; once the ring is full the oldest samples are
+// overwritten. Safe for concurrent Tick and Snapshot (scrapes happen
+// from the serve goroutine while the simulation runs).
+type Sampler struct {
+	mu    sync.Mutex
+	reg   *Registry
+	every int64
+	keep  func(family string) bool
+	ring  []Sample
+	head  int // index of the oldest sample
+	n     int
+	next  int64 // first cycle at/after which a sample is due
+	count int64 // samples ever taken (count - n were dropped)
+}
+
+// NewSampler builds a sampler over reg taking one sample per
+// everyCycles modeled cycles (< 1 is pinned to 1) into a ring of the
+// given capacity (< 1 uses DefaultSamplerCap). keep selects the metric
+// families to record; nil records every gauge and counter family.
+// Histograms are never sampled — they are cumulative and live on
+// /metrics.
+func NewSampler(reg *Registry, everyCycles int64, capacity int, keep func(family string) bool) *Sampler {
+	if everyCycles < 1 {
+		everyCycles = 1
+	}
+	if capacity < 1 {
+		capacity = DefaultSamplerCap
+	}
+	return &Sampler{
+		reg:   reg,
+		every: everyCycles,
+		keep:  keep,
+		ring:  make([]Sample, 0, capacity),
+	}
+}
+
+// Every returns the sampling period in modeled cycles.
+func (s *Sampler) Every() int64 { return s.every }
+
+// Tick offers the current modeled cycle to the sampler and takes a
+// sample if one is due (the cycle reached the next period boundary).
+// Modeled time may jump arbitrarily far between ticks; at most one
+// sample is taken per call, stamped with the offered cycle. Returns
+// whether a sample was taken.
+func (s *Sampler) Tick(cycle int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cycle < s.next {
+		return false
+	}
+	vals := make(map[string]int64)
+	s.reg.each(func(f *family, se *series) {
+		if s.keep != nil && !s.keep(f.name) {
+			return
+		}
+		switch v := se.value.(type) {
+		case *Counter:
+			vals[f.name+se.labels] = v.Value()
+		case *Gauge:
+			vals[f.name+se.labels] = v.Value()
+		}
+	})
+	sm := Sample{Cycle: cycle, Values: vals}
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, sm)
+	} else {
+		s.ring[s.head] = sm
+		s.head = (s.head + 1) % len(s.ring)
+	}
+	s.n = len(s.ring)
+	s.count++
+	s.next = (cycle/s.every + 1) * s.every
+	return true
+}
+
+// Snapshot returns the retained samples in chronological order.
+func (s *Sampler) Snapshot() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(s.head+i)%len(s.ring)])
+	}
+	return out
+}
+
+// Last returns the most recent sample and whether one exists — the
+// top-style periodic summary reads this.
+func (s *Sampler) Last() (Sample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	return s.ring[(s.head+s.n-1)%len(s.ring)], true
+}
+
+// Count returns how many samples were ever taken (retained + dropped).
+func (s *Sampler) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// TimeSeries is the JSON document served at /timeseries: the sampling
+// period, total/dropped sample accounting, and the retained window.
+// json.Marshal sorts the Values maps, so the document is byte-stable
+// for a deterministic run (the CLI golden test pins it).
+type TimeSeries struct {
+	EveryCycles  int64    `json:"every_cycles"`
+	SamplesTotal int64    `json:"samples_total"`
+	Dropped      int64    `json:"dropped"`
+	Samples      []Sample `json:"samples"`
+}
+
+// TimeSeries builds the exportable document from the current window.
+func (s *Sampler) TimeSeries() TimeSeries {
+	samples := s.Snapshot()
+	s.mu.Lock()
+	count := s.count
+	s.mu.Unlock()
+	return TimeSeries{
+		EveryCycles:  s.every,
+		SamplesTotal: count,
+		Dropped:      count - int64(len(samples)),
+		Samples:      samples,
+	}
+}
+
+// WriteJSON renders the time-series document as indented JSON.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.TimeSeries())
+}

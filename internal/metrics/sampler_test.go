@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSamplerTickAndWindow(t *testing.T) {
+	r := New()
+	g := r.Gauge("thoth_wpq_occupancy", "WPQ occupancy.")
+	c := r.Counter("thoth_ops_total", "Ops.")
+	r.Histogram("thoth_lat", "Latency.").Observe(5) // never sampled
+
+	// Cycle 0 is a boundary: a fresh sampler samples at the first tick.
+	s2 := NewSampler(r, 100, 4, nil)
+	g.Set(7)
+	c.Inc()
+	if !s2.Tick(0) {
+		t.Fatal("no sample at cycle 0")
+	}
+	if s2.Tick(99) {
+		t.Fatal("sampled inside the first period")
+	}
+	g.Set(9)
+	if !s2.Tick(250) {
+		t.Fatal("no sample after jumping past a boundary")
+	}
+	got := s2.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("got %d samples, want 2", len(got))
+	}
+	if got[0].Cycle != 0 || got[1].Cycle != 250 {
+		t.Fatalf("sample cycles %d,%d want 0,250", got[0].Cycle, got[1].Cycle)
+	}
+	if got[0].Values["thoth_wpq_occupancy"] != 7 || got[1].Values["thoth_wpq_occupancy"] != 9 {
+		t.Fatalf("gauge values %v", got)
+	}
+	if got[1].Values["thoth_ops_total"] != 1 {
+		t.Fatalf("counter value %v", got[1].Values)
+	}
+	if _, ok := got[0].Values["thoth_lat"]; ok {
+		t.Fatal("histogram family leaked into a sample")
+	}
+	// A sample after a time jump lands on the next boundary schedule.
+	if s2.Tick(299) {
+		t.Fatal("sampled before the post-jump boundary (300)")
+	}
+	if !s2.Tick(300) {
+		t.Fatal("no sample at the post-jump boundary")
+	}
+}
+
+func TestSamplerRingOverwrite(t *testing.T) {
+	r := New()
+	g := r.Gauge("g", "g.")
+	s := NewSampler(r, 10, 3, nil)
+	for i := int64(0); i < 6; i++ {
+		g.Set(i)
+		if !s.Tick(i * 10) {
+			t.Fatalf("tick %d took no sample", i)
+		}
+	}
+	got := s.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("window %d, want 3", len(got))
+	}
+	for i, want := range []int64{30, 40, 50} {
+		if got[i].Cycle != want || got[i].Values["g"] != want/10 {
+			t.Fatalf("sample %d = %+v, want cycle %d value %d", i, got[i], want, want/10)
+		}
+	}
+	ts := s.TimeSeries()
+	if ts.SamplesTotal != 6 || ts.Dropped != 3 {
+		t.Fatalf("accounting total=%d dropped=%d, want 6/3", ts.SamplesTotal, ts.Dropped)
+	}
+	if last, ok := s.Last(); !ok || last.Cycle != 50 {
+		t.Fatalf("Last = %+v %v, want cycle 50", last, ok)
+	}
+}
+
+func TestSamplerKeepFilterAndJSON(t *testing.T) {
+	r := New()
+	r.Gauge("thoth_pub_occupancy_blocks", "PUB.").Set(3)
+	r.Gauge("other_gauge", "other.").Set(8)
+	s := NewSampler(r, 1, 0, func(f string) bool { return strings.HasPrefix(f, "thoth_") })
+	s.Tick(0)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ts TimeSeries
+	if err := json.Unmarshal(buf.Bytes(), &ts); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v\n%s", err, buf.Bytes())
+	}
+	if len(ts.Samples) != 1 {
+		t.Fatalf("samples %d, want 1", len(ts.Samples))
+	}
+	if _, ok := ts.Samples[0].Values["other_gauge"]; ok {
+		t.Fatal("keep filter did not drop other_gauge")
+	}
+	if ts.Samples[0].Values["thoth_pub_occupancy_blocks"] != 3 {
+		t.Fatalf("values %v", ts.Samples[0].Values)
+	}
+	// Determinism: two renders byte-match.
+	var buf2 bytes.Buffer
+	if err := s.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteJSON is not byte-stable")
+	}
+}

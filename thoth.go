@@ -226,6 +226,13 @@ func NewChromeTracer(w io.Writer, cpuGHz float64) *ChromeTracer {
 // MultiTracer fans one event stream out to several tracers.
 func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
 
+// FlightRecord is the crash flight recorder's snapshot: the most recent
+// controller events (an always-on, bounded black box kept even with no
+// Tracer installed), plus how many older events the ring dropped.
+// System.FlightRecord takes the snapshot; WriteJSONL dumps it in the
+// JSONL trace schema cmd/tracecheck validates.
+type FlightRecord = obs.FlightRecord
+
 // Metrics. Set Config.Metrics to a MetricsRegistry and the controller
 // natively records write critical-path latency and PUB ring occupancy;
 // wrap the same registry with MetricsFromTracer and install the result
@@ -482,6 +489,12 @@ func (s *System) Shutdown() (*Device, error) {
 // Device returns the live device image (for inspection; tampering with
 // it models an attacker).
 func (s *System) Device() *Device { return s.ctl.Device() }
+
+// FlightRecord snapshots the controller's crash flight recorder: the
+// most recent events in arrival order. Taken after Crash it is the
+// black box of the failure — the crash-sequence events (ADR flush, PUB
+// seals) are the tail of the record.
+func (s *System) FlightRecord() FlightRecord { return s.ctl.FlightRecord() }
 
 // Root returns the current on-chip integrity-tree root.
 func (s *System) Root() uint64 { return s.ctl.Root() }
